@@ -1,0 +1,123 @@
+"""Shared fixtures for the experiment benches.
+
+Every table and figure of the paper gets one bench module; expensive
+artifacts (the 200-sample dataset, trained surrogates) are built once
+per session here.  Benches assert the paper's *shape* claims (who wins,
+rough factors, where crossovers fall) and attach the reproduced rows to
+``benchmark.extra_info`` so the pytest-benchmark report carries the
+paper-vs-measured numbers.  Each bench also writes its rows to
+``benchmarks/results/<name>.json`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config import CASSANDRA_KEY_PARAMETERS, SCYLLA_KEY_PARAMETERS
+from repro.core.rafiki import Rafiki
+from repro.core.surrogate import SurrogateModel
+from repro.datastore import CassandraLike, ScyllaLike
+from repro.ml.ensemble import EnsembleConfig
+from repro.workload.spec import mgrast_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: One shared experiment seed; every artifact derives from it.
+SEED = 2017
+
+
+def write_results(name: str, payload: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+
+
+@pytest.fixture(scope="session")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="session")
+def scylla():
+    return ScyllaLike()
+
+
+@pytest.fixture(scope="session")
+def base_workload():
+    return mgrast_workload(0.5, name="mgrast-base")
+
+
+@pytest.fixture(scope="session")
+def cassandra_dataset(cassandra, base_workload):
+    """The §4.2 campaign: 11 workloads x 20 configs, 20 faulted dropped."""
+    campaign = DataCollectionCampaign(
+        cassandra,
+        base_workload,
+        key_parameters=CASSANDRA_KEY_PARAMETERS,
+        seed=SEED,
+    )
+    dataset = campaign.run()
+    assert len(dataset) == 200
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def cassandra_surrogate(cassandra, cassandra_dataset):
+    """Paper-sized ensemble (20 nets, pruned to 14) on all 200 samples."""
+    model = SurrogateModel(
+        cassandra.space,
+        CASSANDRA_KEY_PARAMETERS,
+        EnsembleConfig(n_networks=20),
+    )
+    return model.fit(cassandra_dataset, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def cassandra_rafiki(cassandra, cassandra_surrogate):
+    return Rafiki(cassandra, cassandra_surrogate, CASSANDRA_KEY_PARAMETERS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def scylla_dataset(scylla):
+    campaign = DataCollectionCampaign(
+        scylla,
+        mgrast_workload(0.7, name="mgrast-scylla"),
+        key_parameters=SCYLLA_KEY_PARAMETERS,
+        seed=SEED + 1,
+    )
+    dataset = campaign.run()
+    assert len(dataset) == 200
+    return dataset
+
+
+@pytest.fixture(scope="session")
+def scylla_surrogate(scylla, scylla_dataset):
+    model = SurrogateModel(
+        scylla.space,
+        SCYLLA_KEY_PARAMETERS,
+        EnsembleConfig(n_networks=20),
+    )
+    return model.fit(scylla_dataset, seed=SEED + 1)
+
+
+@pytest.fixture(scope="session")
+def scylla_rafiki(scylla, scylla_surrogate):
+    return Rafiki(scylla, scylla_surrogate, SCYLLA_KEY_PARAMETERS, seed=SEED + 1)
+
+
+@pytest.fixture(scope="session")
+def measure(cassandra, base_workload):
+    """Measured (simulated-server) throughput of a config at a read ratio."""
+    bench = YCSBBenchmark(cassandra)
+
+    def _measure(config, read_ratio, seed=SEED + 99):
+        wl = base_workload.with_read_ratio(read_ratio)
+        return bench.run(config, wl, seed=seed).mean_throughput
+
+    return _measure

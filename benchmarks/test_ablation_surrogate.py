@@ -1,0 +1,118 @@
+"""Ablations on the surrogate-model design choices.
+
+* Ensemble size / pruning: the paper picked 20 nets pruned to 14
+  ("going beyond 20 neural nets again gives diminishing improvements").
+* Interpretable models: §3.7.2 tried a single-variable decision tree
+  ("woefully inadequate") and a linear-combination tree (better, less
+  interpretable) before settling on the DNN.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEED, write_results
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.surrogate import SurrogateModel
+from repro.ml.decision_tree import DecisionTreeRegressor, ModelTreeRegressor
+from repro.ml.ensemble import EnsembleConfig
+from repro.ml.metrics import mean_absolute_percentage_error
+
+TRIALS = 3
+
+
+def ensemble_error(space, dataset, n_networks, prune, trials=TRIALS):
+    errs = []
+    for trial in range(trials):
+        rng = np.random.default_rng(900 + trial)
+        train, test = dataset.split_by_configuration(0.25, rng)
+        model = SurrogateModel(
+            space,
+            CASSANDRA_KEY_PARAMETERS,
+            EnsembleConfig(n_networks=n_networks, prune_fraction=prune),
+        ).fit(train, seed=trial)
+        errs.append(
+            mean_absolute_percentage_error(test.targets(), model.predict_dataset(test))
+        )
+    return float(np.mean(errs))
+
+
+def tree_error(dataset, model_factory, trials=TRIALS):
+    """(holdout MAPE, training MAPE) averaged over trials."""
+    errs, fit_errs = [], []
+    for trial in range(trials):
+        rng = np.random.default_rng(900 + trial)
+        train, test = dataset.split_by_configuration(0.25, rng)
+        tree = model_factory().fit(train.features(), train.targets())
+        errs.append(
+            mean_absolute_percentage_error(test.targets(), tree.predict(test.features()))
+        )
+        fit_errs.append(
+            mean_absolute_percentage_error(
+                train.targets(), tree.predict(train.features())
+            )
+        )
+    return float(np.mean(errs)), float(np.mean(fit_errs))
+
+
+def test_ablation_ensemble_size(cassandra, cassandra_dataset, benchmark):
+    sizes = {n: ensemble_error(cassandra.space, cassandra_dataset, n, 0.30)
+             for n in (1, 5, 20)}
+
+    # More nets help; the big jump is from 1 to a handful.
+    assert sizes[20] < sizes[1]
+    assert sizes[5] < sizes[1]
+    # Diminishing returns: 5 -> 20 improves less than 1 -> 5.
+    assert (sizes[5] - sizes[20]) < (sizes[1] - sizes[5]) + 1.0
+
+    payload = {"error_by_ensemble_size": {str(k): v for k, v in sizes.items()}}
+    benchmark.extra_info.update(payload["error_by_ensemble_size"])
+    write_results("ablation_ensemble_size", payload)
+    benchmark(lambda: sizes[20])
+
+
+def test_ablation_pruning(cassandra, cassandra_dataset, benchmark):
+    pruned = ensemble_error(cassandra.space, cassandra_dataset, 10, 0.30)
+    unpruned = ensemble_error(cassandra.space, cassandra_dataset, 10, 0.0)
+
+    # Pruning the worst 30% should not hurt, and typically helps by
+    # dropping badly initialized members.
+    assert pruned < unpruned + 1.5
+
+    payload = {"pruned_error": pruned, "unpruned_error": unpruned}
+    benchmark.extra_info.update(payload)
+    write_results("ablation_pruning", payload)
+    benchmark(lambda: pruned)
+
+
+def test_ablation_decision_tree(cassandra, cassandra_dataset, benchmark):
+    dnn = ensemble_error(cassandra.space, cassandra_dataset, 8, 0.30)
+    plain_holdout, plain_fit = tree_error(
+        cassandra_dataset, lambda: DecisionTreeRegressor(max_depth=6)
+    )
+    model_holdout, model_fit = tree_error(
+        cassandra_dataset, lambda: ModelTreeRegressor(max_depth=4)
+    )
+
+    # §3.7.2's within-tree progression is about *expressivity* — "when
+    # each node was allowed to have a linear combination of the
+    # parameters, the performance improved": the model tree fits the
+    # response surface better than single-variable splits.
+    assert model_fit < plain_fit
+    # All three are usable surrogates on this substrate.  Divergence
+    # note: the paper found the plain tree "woefully inadequate" on its
+    # testbed; our resource-ceiling response surface is friendlier to
+    # axis-aligned splits, so the plain tree generalizes near the DNN
+    # here (recorded, see EXPERIMENTS.md).
+    assert dnn < 2.0 * plain_holdout
+    assert max(dnn, model_holdout, plain_holdout) < 25.0
+
+    payload = {
+        "dnn_ensemble_error": dnn,
+        "single_variable_tree_holdout_error": plain_holdout,
+        "single_variable_tree_fit_error": plain_fit,
+        "linear_combination_tree_holdout_error": model_holdout,
+        "linear_combination_tree_fit_error": model_fit,
+    }
+    benchmark.extra_info.update(payload)
+    write_results("ablation_decision_tree", payload)
+    benchmark(lambda: dnn)

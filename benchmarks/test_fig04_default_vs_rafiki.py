@@ -1,0 +1,99 @@
+"""Figure 4: Cassandra throughput — default vs Rafiki-optimized vs
+exhaustive search — across the workload read proportion.
+
+Paper shape: the default configuration *decreases* with read proportion
+(>40% swing); Rafiki beats the default everywhere, with the largest
+gains on read-heavy workloads (~41% average for RR >= 70%, paper §4.8),
+~14% on write-heavy, ~30% on average; exhaustive search bounds Rafiki
+from above with Rafiki within ~15%.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEED, write_results
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.search import ExhaustiveSearch
+
+
+@pytest.fixture(scope="module")
+def figure4_data(cassandra, cassandra_rafiki, base_workload, measure):
+    ratios = np.linspace(0.0, 1.0, 11)
+    default_cfg = cassandra.default_configuration()
+    rows = []
+    for rr in ratios:
+        tuned = cassandra_rafiki.recommend(float(rr))
+        rows.append(
+            {
+                "read_ratio": float(rr),
+                "default": measure(default_cfg, float(rr)),
+                "rafiki": measure(tuned.configuration, float(rr)),
+                "rafiki_config": dict(tuned.configuration.non_default_items()),
+            }
+        )
+
+    # The exhaustive upper bound at three anchor workloads (80 configs
+    # each, as §4.8).
+    bench = YCSBBenchmark(cassandra)
+    exhaustive = {}
+    for rr in (0.1, 0.5, 0.9):
+        search = ExhaustiveSearch(
+            cassandra, CASSANDRA_KEY_PARAMETERS, resolution=3,
+            benchmark=bench, max_configs=80,
+        )
+        result = search.optimize(base_workload.with_read_ratio(rr), seed=SEED)
+        exhaustive[rr] = result.predicted_throughput
+    return rows, exhaustive
+
+
+def test_fig4_default_declines_with_reads(figure4_data, benchmark):
+    rows, _ = figure4_data
+    default = [r["default"] for r in rows]
+    swing = (default[0] - default[-1]) / default[0]
+    assert swing > 0.40, f"default swing {swing:.0%} should exceed 40% (§4.4)"
+    # Monotone-ish decline: no big upward jumps.
+    assert default[0] == max(default)
+    benchmark.extra_info["default_swing"] = swing
+    benchmark(lambda: max(default))
+
+
+def test_fig4_rafiki_beats_default(figure4_data, cassandra_rafiki, benchmark):
+    rows, exhaustive = figure4_data
+    gains = [(r["rafiki"] / r["default"] - 1.0) for r in rows]
+    read_heavy = [g for r, g in zip(rows, gains) if r["read_ratio"] >= 0.7]
+    write_heavy = [g for r, g in zip(rows, gains) if r["read_ratio"] <= 0.3]
+
+    assert np.mean(gains) > 0.10, "average gain should be significant (~30% paper)"
+    assert np.mean(read_heavy) > 0.20, "read-heavy gains are the headline (~41%)"
+    assert np.mean(read_heavy) > np.mean(write_heavy), (
+        "gains concentrate on read-heavy: the default file is write-leaning"
+    )
+    assert min(gains) > -0.10, "Rafiki should not substantially hurt any workload"
+
+    # Rafiki lands within ~15-25% of the exhaustive upper bound (§4.8).
+    for rr, best in exhaustive.items():
+        rafiki_tp = next(r["rafiki"] for r in rows if abs(r["read_ratio"] - rr) < 1e-9)
+        assert rafiki_tp > 0.75 * best
+
+    payload = {
+        "rows": [
+            {k: v for k, v in r.items()} for r in rows
+        ],
+        "exhaustive": {str(k): v for k, v in exhaustive.items()},
+        "average_gain": float(np.mean(gains)),
+        "read_heavy_gain": float(np.mean(read_heavy)),
+        "write_heavy_gain": float(np.mean(write_heavy)),
+        "paper": {
+            "average_gain": 0.30,
+            "read_heavy_gain": 0.41,
+            "write_heavy_gain": 0.14,
+            "within_exhaustive": 0.15,
+        },
+    }
+    benchmark.extra_info.update(
+        {k: payload[k] for k in ("average_gain", "read_heavy_gain", "write_heavy_gain")}
+    )
+    write_results("fig04_default_vs_rafiki", payload)
+    # Benchmark the online search itself (the thing that must be fast).
+    benchmark(lambda: cassandra_rafiki.recommend(0.42, use_cache=False))

@@ -1,0 +1,105 @@
+"""Figure 5: ANOVA ranking of Cassandra configuration parameters.
+
+Paper: the top ~5 parameters dominate, compaction strategy is the most
+significant (its std is 11x that of concurrent_writes in their testbed,
+so large it is dropped from the plot), and the key set after the §4.5
+memtable consolidation is {CM, CW, FCZ, MT, CC}.
+
+Our measured ranking reproduces the structure — compaction-, cache-, and
+flush-related parameters on top, plumbing parameters at the measurement-
+noise floor — though the exact order within the top group differs from
+the paper's testbed (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from benchmarks.conftest import SEED, write_results
+from repro.core.anova import (
+    consolidate_memtable_parameters,
+    rank_parameters,
+    select_key_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def representative_workload():
+    """The OFAT sweeps run against a representative MG-RAST workload,
+    which is read-leaning ("read-heavy most of the time", §4.8)."""
+    from repro.workload.spec import mgrast_workload
+
+    return mgrast_workload(0.75, name="mgrast-representative")
+
+
+@pytest.fixture(scope="module")
+def ranking(cassandra, representative_workload):
+    return rank_parameters(cassandra, representative_workload, repeats=2, seed=SEED)
+
+
+def test_fig5_anova_ranking(ranking, benchmark, cassandra, representative_workload):
+    stds = {e.name: e.throughput_std for e in ranking}
+
+    # The mechanism parameters dominate the plumbing ones.
+    mechanism = [
+        "compaction_method",
+        "file_cache_size_in_mb",
+        "memtable_cleanup_threshold",
+        "concurrent_writes",
+        "concurrent_compactors",
+        "compaction_throughput_mb_per_sec",
+    ]
+    plumbing = [
+        "batch_size_warn_threshold_in_kb",
+        "dynamic_snitch_update_interval_in_ms",
+        "range_request_timeout_in_ms",
+        "column_index_size_in_kb",
+    ]
+    top8 = ranking.names()[:8]
+    assert sum(1 for m in mechanism if m in top8) >= 4
+    assert all(p not in top8 for p in plumbing)
+
+    # Compaction method is among the most significant parameters and
+    # dwarfs concurrent_writes' noise floor relative to plumbing.
+    assert "compaction_method" in ranking.names()[:6]
+    noise_floor = max(stds[p] for p in plumbing)
+    assert stds["compaction_method"] > 3 * noise_floor
+
+    # The selection pipeline lands on five key parameters including the
+    # compaction strategy, the flush threshold, and the file cache.
+    selected = consolidate_memtable_parameters(select_key_parameters(ranking))[:5]
+    assert len(selected) == 5
+    assert "compaction_method" in selected
+    assert "memtable_cleanup_threshold" in selected
+    assert "file_cache_size_in_mb" in selected
+
+    payload = {
+        "ranking": [
+            {
+                "name": e.name,
+                "throughput_std": e.throughput_std,
+                "f_statistic": e.f_statistic,
+                "p_value": e.p_value,
+            }
+            for e in ranking
+        ],
+        "selected_key_parameters": selected,
+        "paper_key_parameters": [
+            "compaction_method",
+            "concurrent_writes",
+            "file_cache_size_in_mb",
+            "memtable_cleanup_threshold",
+            "concurrent_compactors",
+        ],
+    }
+    benchmark.extra_info["top5"] = ranking.names()[:5]
+    write_results("fig05_anova_ranking", payload)
+
+    # Benchmark one OFAT sweep (the unit of ANOVA cost).
+    benchmark(
+        lambda: rank_parameters(
+            cassandra,
+            representative_workload,
+            parameters=["concurrent_compactors"],
+            repeats=1,
+            seed=SEED,
+        )
+    )

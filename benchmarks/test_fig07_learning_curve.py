@@ -1,0 +1,89 @@
+"""Figure 7: prediction error vs number of training samples.
+
+Paper: error falls as training grows and "begins to level off at 180
+collected training samples"; ~5% of the search space suffices.  Unseen-
+configuration error stays above unseen-workload error throughout.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEED, write_results
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.surrogate import SurrogateModel
+from repro.ml.ensemble import EnsembleConfig
+from repro.ml.metrics import mean_absolute_percentage_error
+
+SIZES = (36, 72, 108, 144, 180)
+TRIALS = 3
+
+
+def holdout_error(space, dataset, split_kind, n_train, trial):
+    rng = np.random.default_rng(1000 * trial + n_train)
+    split = (
+        dataset.split_by_configuration
+        if split_kind == "config"
+        else dataset.split_by_workload
+    )
+    train, test = split(0.25, rng)
+    if n_train < len(train):
+        train = train.take(n_train, rng)
+    model = SurrogateModel(
+        space, CASSANDRA_KEY_PARAMETERS, EnsembleConfig(n_networks=6)
+    ).fit(train, seed=trial)
+    preds = model.predict_dataset(test)
+    return mean_absolute_percentage_error(test.targets(), preds)
+
+
+@pytest.fixture(scope="module")
+def learning_curves(cassandra, cassandra_dataset):
+    curves = {"config": [], "workload": []}
+    for kind in curves:
+        for n in SIZES:
+            errs = [
+                holdout_error(cassandra.space, cassandra_dataset, kind, n, t)
+                for t in range(TRIALS)
+            ]
+            curves[kind].append(float(np.mean(errs)))
+    return curves
+
+
+def test_fig7_learning_curve(learning_curves, benchmark, cassandra, cassandra_dataset):
+    config_curve = learning_curves["config"]
+    workload_curve = learning_curves["workload"]
+
+    # Errors shrink substantially with more data...
+    assert config_curve[-1] < config_curve[0]
+    assert workload_curve[-1] < workload_curve[0]
+    # ...and level off: the second half of the curve improves less than
+    # the first half (trial noise makes single steps unreliable).
+    mid = len(config_curve) // 2
+    first_half_drop = config_curve[0] - config_curve[mid]
+    second_half_drop = config_curve[mid] - config_curve[-1]
+    assert second_half_drop < first_half_drop + 1.5
+
+    # Unseen configurations are the harder task (paper: 7.5% vs 5.6%).
+    assert config_curve[-1] > workload_curve[-1] * 0.9
+
+    # At full data both errors are in a usable range.
+    assert workload_curve[-1] < 12.0
+    assert config_curve[-1] < 20.0
+
+    payload = {
+        "sizes": list(SIZES),
+        "unseen_config_error_pct": config_curve,
+        "unseen_workload_error_pct": workload_curve,
+        "paper": {"unseen_config_at_180": 7.5, "unseen_workload_at_180": 5.6},
+    }
+    benchmark.extra_info.update(
+        {
+            "config_err_at_180": config_curve[-1],
+            "workload_err_at_180": workload_curve[-1],
+        }
+    )
+    write_results("fig07_learning_curve", payload)
+
+    # Benchmark one training run at the smallest size (the unit cost).
+    benchmark(
+        lambda: holdout_error(cassandra.space, cassandra_dataset, "workload", 36, 9)
+    )

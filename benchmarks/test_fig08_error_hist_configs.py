@@ -1,0 +1,58 @@
+"""Figure 8: distribution of prediction errors for unseen configurations.
+
+Paper: 10 randomized 25%-holdout trials; the average absolute error is
+7.5% with most projections within |5|% and little bias (mean near zero).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEED, write_results
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.surrogate import SurrogateModel
+from repro.ml.ensemble import EnsembleConfig
+from repro.ml.metrics import percentage_errors
+
+TRIALS = 6
+
+
+@pytest.fixture(scope="module")
+def config_holdout_errors(cassandra, cassandra_dataset):
+    errors = []
+    for trial in range(TRIALS):
+        rng = np.random.default_rng(trial)
+        train, test = cassandra_dataset.split_by_configuration(0.25, rng)
+        model = SurrogateModel(
+            cassandra.space, CASSANDRA_KEY_PARAMETERS, EnsembleConfig(n_networks=8)
+        ).fit(train, seed=trial)
+        errors.extend(percentage_errors(test.targets(), model.predict_dataset(test)))
+    return np.array(errors)
+
+
+def test_fig8_unseen_config_histogram(config_holdout_errors, benchmark):
+    errors = config_holdout_errors
+    mean_abs = float(np.mean(np.abs(errors)))
+    bias = float(np.mean(errors))
+    within5 = float((np.abs(errors) <= 5.0).mean())
+
+    # Paper: ~7.5% average absolute error for unseen configurations.
+    assert mean_abs < 18.0, f"unseen-config error {mean_abs:.1f}% too high"
+    # Little bias: the mean sits near zero relative to the spread.
+    assert abs(bias) < 0.5 * np.std(errors) + 1.0
+    # A substantial mass of predictions lands within |5|%.
+    assert within5 > 0.30
+
+    hist, edges = np.histogram(errors, bins=np.arange(-30, 31, 2.5))
+    payload = {
+        "mean_abs_error_pct": mean_abs,
+        "bias_pct": bias,
+        "fraction_within_5pct": within5,
+        "histogram_counts": hist.tolist(),
+        "histogram_edges": edges.tolist(),
+        "paper": {"mean_abs_error_pct": 7.5},
+    }
+    benchmark.extra_info.update(
+        {k: payload[k] for k in ("mean_abs_error_pct", "bias_pct", "fraction_within_5pct")}
+    )
+    write_results("fig08_error_hist_configs", payload)
+    benchmark(lambda: float(np.mean(np.abs(errors))))

@@ -1,0 +1,78 @@
+"""Figure 9: distribution of prediction errors for unseen workloads.
+
+Paper: average absolute error 5.6%, better than the unseen-configuration
+case — "the single feature that represents the workload's
+Read-proportion can capture the system dynamics well".
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SEED, write_results
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.surrogate import SurrogateModel
+from repro.ml.ensemble import EnsembleConfig
+from repro.ml.metrics import percentage_errors
+
+TRIALS = 6
+
+
+@pytest.fixture(scope="module")
+def workload_holdout_errors(cassandra, cassandra_dataset):
+    errors = []
+    for trial in range(TRIALS):
+        rng = np.random.default_rng(100 + trial)
+        train, test = cassandra_dataset.split_by_workload(0.25, rng)
+        model = SurrogateModel(
+            cassandra.space, CASSANDRA_KEY_PARAMETERS, EnsembleConfig(n_networks=8)
+        ).fit(train, seed=trial)
+        errors.extend(percentage_errors(test.targets(), model.predict_dataset(test)))
+    return np.array(errors)
+
+
+def test_fig9_unseen_workload_histogram(
+    workload_holdout_errors, config_errors_for_comparison, benchmark
+):
+    errors = workload_holdout_errors
+    mean_abs = float(np.mean(np.abs(errors)))
+    bias = float(np.mean(errors))
+    within5 = float((np.abs(errors) <= 5.0).mean())
+
+    # Paper: ~5.6% average absolute error for unseen workloads.
+    assert mean_abs < 12.0, f"unseen-workload error {mean_abs:.1f}% too high"
+    assert abs(bias) < 0.5 * np.std(errors) + 1.0
+    assert within5 > 0.5, "most projections lie in the |5|% range"
+
+    # Workload prediction is easier than configuration prediction.
+    assert mean_abs < config_errors_for_comparison + 2.0
+
+    hist, edges = np.histogram(errors, bins=np.arange(-30, 31, 2.5))
+    payload = {
+        "mean_abs_error_pct": mean_abs,
+        "bias_pct": bias,
+        "fraction_within_5pct": within5,
+        "histogram_counts": hist.tolist(),
+        "histogram_edges": edges.tolist(),
+        "paper": {"mean_abs_error_pct": 5.6},
+    }
+    benchmark.extra_info.update(
+        {k: payload[k] for k in ("mean_abs_error_pct", "bias_pct", "fraction_within_5pct")}
+    )
+    write_results("fig09_error_hist_workloads", payload)
+    benchmark(lambda: float(np.mean(np.abs(errors))))
+
+
+@pytest.fixture(scope="module")
+def config_errors_for_comparison(cassandra, cassandra_dataset):
+    """A small unseen-config error estimate for the Fig 8 vs 9 contrast."""
+    errs = []
+    for trial in range(2):
+        rng = np.random.default_rng(trial)
+        train, test = cassandra_dataset.split_by_configuration(0.25, rng)
+        model = SurrogateModel(
+            cassandra.space, CASSANDRA_KEY_PARAMETERS, EnsembleConfig(n_networks=8)
+        ).fit(train, seed=trial)
+        errs.append(
+            float(np.mean(np.abs(percentage_errors(test.targets(), model.predict_dataset(test)))))
+        )
+    return float(np.mean(errs))

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""A tour of the LSM storage substrate.
+
+Rafiki tunes *mechanisms*; this example walks the mechanisms themselves
+on the materialized engine: memtable flushes, SSTable accumulation,
+compaction (both strategies), bloom filters, the file cache, and online
+reconfiguration — all on simulated time.
+
+    python examples/lsm_engine_tour.py
+"""
+
+from repro import CassandraLike
+from repro.config.cassandra import LEVELED
+
+
+def show(engine, label):
+    stats = engine.stats
+    print(
+        f"   [{label}] t={engine.clock.now:8.3f}s  tables={engine.sstable_count:>3} "
+        f"flushes={stats.flushes:>3} compactions={stats.compactions_completed:>2} "
+        f"cache-hit={engine.cache.hit_ratio:5.1%}"
+    )
+
+
+def main():
+    cassandra = CassandraLike()
+
+    # A small-memtable configuration so the mechanics fire quickly.
+    config = cassandra.space.configuration(
+        memtable_heap_space_in_mb=256,
+        memtable_offheap_space_in_mb=256,
+        memtable_cleanup_threshold=0.1,
+        file_cache_size_in_mb=64,
+    )
+    engine = cassandra.new_engine_instance(config)
+
+    print("== Write path: commit log -> memtable -> flush -> SSTables ==")
+    for i in range(300_000):
+        engine.put(f"user{i:012d}", b"x" * 1500)
+        if i in (60_000, 180_000, 299_999):
+            show(engine, f"after {i + 1:,} writes")
+
+    print("\n== Read path: bloom filters + file cache + disk probes ==")
+    for i in range(0, 300_000, 3_000):
+        engine.get(f"user{i:012d}")
+    show(engine, "after 100 cold-ish reads")
+    for _ in range(3):
+        for i in range(0, 25_000, 2_500):
+            engine.get(f"user{i:012d}")
+    show(engine, "after re-reading a hot set")
+    print(f"   bloom checks: {engine.stats.bloom_checks:,}, "
+          f"true positives: {engine.stats.bloom_true_positives:,}")
+
+    print("\n== Deletes are tombstones until compaction collects them ==")
+    engine.delete("user000000000000")
+    print(f"   get(deleted) -> {engine.get('user000000000000')}")
+
+    print("\n== Background compaction (size-tiered) ==")
+    drained = engine.idle_until_compact()
+    show(engine, f"idled {drained:.1f}s")
+
+    print("\n== Online reconfiguration: switch to leveled compaction ==")
+    leveled = config.with_updates(compaction_method=LEVELED)
+    engine.reconfigure(cassandra.effective_knobs(leveled))
+    for i in range(300_000, 450_000):
+        engine.put(f"user{i:012d}", b"x" * 1500)
+    engine.idle_until_compact()
+    show(engine, "leveled, after more writes")
+    print(f"   levels: {[len(lvl) for lvl in engine.layout.levels]}")
+    engine.layout.check_leveled_invariant()
+    print("   leveled non-overlap invariant holds")
+
+    print("\n== Data survives everything ==")
+    assert engine.get("user000000000001") == b"x" * 1500
+    assert engine.get("user000000449999") == b"x" * 1500
+    assert engine.get("user000000000000") is None  # still deleted
+    print("   all checks passed")
+
+
+if __name__ == "__main__":
+    main()

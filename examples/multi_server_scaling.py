@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Multi-server tuning: the paper's two-server experiment (Table 3).
+
+Builds one- and two-node clusters (replication factor raised with the
+node count, one YCSB shooter per server, as in §4.9) and compares the
+Rafiki-tuned configuration against the defaults on each.
+
+    python examples/multi_server_scaling.py
+"""
+
+import numpy as np
+
+from repro import (
+    CASSANDRA_KEY_PARAMETERS,
+    CassandraLike,
+    Cluster,
+    RafikiPipeline,
+    mgrast_workload,
+)
+
+
+def cluster_throughput(cassandra, config, read_ratio, n_nodes, seed=7):
+    workload = mgrast_workload(read_ratio)
+    cluster = Cluster(
+        cassandra,
+        config,
+        n_nodes=n_nodes,
+        replication_factor=n_nodes,
+        n_shooters=n_nodes,
+        profile=workload.to_profile(),
+        seed=seed,
+    )
+    cluster.load(workload.n_keys)
+    cluster.settle()
+    steps = cluster.run(read_ratio, duration=300)
+    return float(np.mean([s.throughput for s in steps]))
+
+
+def main():
+    cassandra = CassandraLike()
+
+    print("== Train Rafiki once (single-server profile) ==")
+    pipeline = RafikiPipeline(cassandra, mgrast_workload(0.5), seed=21)
+    rafiki, _ = pipeline.run(key_parameters=CASSANDRA_KEY_PARAMETERS)
+    print("   done\n")
+
+    default_config = cassandra.default_configuration()
+    print("            |   single server      |   two servers (RF=2)")
+    print("   workload |  default     rafiki  |  default     rafiki   ")
+    for read_ratio in (0.1, 0.5, 1.0):
+        tuned_config = rafiki.recommend(read_ratio).configuration
+        row = [f"   RR={read_ratio:>4.0%} |"]
+        improvements = []
+        for n_nodes in (1, 2):
+            base = cluster_throughput(cassandra, default_config, read_ratio, n_nodes)
+            tuned = cluster_throughput(cassandra, tuned_config, read_ratio, n_nodes)
+            improvements.append(tuned / base - 1.0)
+            row.append(f" {base:>8,.0f} {tuned:>9,.0f}  |")
+        print("".join(row) + f"  gains: {improvements[0]:+.1%} / {improvements[1]:+.1%}")
+
+    print(
+        "\n   Note the write-heavy row: with RF=2 every write lands on both"
+        "\n   nodes, so the second server (and tuning) buys little at RR=10%"
+        "\n   — the paper's Table 3 shows the same collapse (15.2% -> 3.2%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

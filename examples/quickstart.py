@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: tune a (simulated) Cassandra for a read-heavy workload.
+
+Runs the full Rafiki pipeline — data collection on the simulated server,
+surrogate training, GA search — and compares the recommended
+configuration against the vendor defaults.
+
+    python examples/quickstart.py
+"""
+
+import time
+
+from repro import (
+    CASSANDRA_KEY_PARAMETERS,
+    CassandraLike,
+    RafikiPipeline,
+    YCSBBenchmark,
+    mgrast_workload,
+)
+
+
+def main():
+    cassandra = CassandraLike()
+    base_workload = mgrast_workload(0.5)
+
+    print("== Offline phase: collect 220 samples, train the surrogate ==")
+    t0 = time.time()
+    pipeline = RafikiPipeline(cassandra, base_workload, seed=7)
+    # The paper's five key parameters; pass key_parameters=None to run
+    # the ANOVA identification stage instead.
+    rafiki, report = pipeline.run(key_parameters=CASSANDRA_KEY_PARAMETERS)
+    print(f"   dataset: {len(report.dataset)} samples")
+    print(f"   surrogate: ensemble of {report.surrogate.ensemble.active_count} nets")
+    print(f"   offline wall time: {time.time() - t0:.1f}s\n")
+
+    print("== Online phase: recommend configurations per workload ==")
+    bench = YCSBBenchmark(cassandra)
+    default_config = cassandra.default_configuration()
+    for read_ratio in (0.1, 0.5, 0.9):
+        t0 = time.time()
+        result = rafiki.recommend(read_ratio)
+        search_s = time.time() - t0
+
+        workload = base_workload.with_read_ratio(read_ratio)
+        default_tp = bench.run(default_config, workload, seed=99).mean_throughput
+        tuned_tp = bench.run(result.configuration, workload, seed=99).mean_throughput
+
+        print(f"read ratio {read_ratio:.0%}:")
+        print(f"   search: {result.evaluations} surrogate calls in {search_s:.2f}s")
+        print(f"   default: {default_tp:>9,.0f} ops/s")
+        print(
+            f"   rafiki:  {tuned_tp:>9,.0f} ops/s "
+            f"({(tuned_tp / default_tp - 1) * 100:+.1f}%)"
+        )
+        for name, value in sorted(result.configuration.non_default_items().items()):
+            shown = f"{value:.3f}" if isinstance(value, float) else value
+            print(f"      {name} = {shown}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""ScyllaDB vs Cassandra: tuning against an internal auto-tuner.
+
+Reproduces the paper's §4.10 findings:
+
+* ScyllaDB's throughput oscillates even in a stationary system
+  (Figure 10), because its internal tuner keeps re-balancing;
+* user values for several parameters are silently ignored, so Rafiki
+  tunes the five parameters that still matter;
+* the resulting gains are real but much smaller than Cassandra's —
+  the auto-tuner already does part of Rafiki's job.
+
+    python examples/scylla_autotuner_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    CASSANDRA_KEY_PARAMETERS,
+    CassandraLike,
+    RafikiPipeline,
+    SCYLLA_KEY_PARAMETERS,
+    ScyllaLike,
+    YCSBBenchmark,
+    mgrast_workload,
+)
+
+
+def stability_report(store, label):
+    bench = YCSBBenchmark(store, run_seconds=600)
+    result = bench.run(store.default_configuration(), mgrast_workload(0.7), seed=3)
+    values = np.array([s.ops_per_second for s in result.series][10:])
+    cov = values.std() / values.mean()
+    swing = (values.max() - values.min()) / values.mean()
+    print(
+        f"   {label:<10} mean {values.mean():>9,.0f} ops/s   "
+        f"cov {cov:.3f}   peak swing {swing:.0%}"
+    )
+
+
+def tune_and_report(store, key_parameters, read_ratio, seed):
+    pipeline = RafikiPipeline(store, mgrast_workload(read_ratio), seed=seed)
+    rafiki, _ = pipeline.run(key_parameters=key_parameters)
+    result = rafiki.recommend(read_ratio)
+
+    bench = YCSBBenchmark(store)
+    wl = mgrast_workload(read_ratio)
+    # Average several runs: ScyllaDB's tuner-induced variance makes a
+    # single window unreliable.
+    def avg(config):
+        return np.mean(
+            [bench.run(config, wl, seed=100 + i).mean_throughput for i in range(3)]
+        )
+
+    default_tp = avg(store.default_configuration())
+    tuned_tp = avg(result.configuration)
+    gain = tuned_tp / default_tp - 1.0
+    print(
+        f"   {store.name:<10} RR={read_ratio:.0%}: default {default_tp:>9,.0f} "
+        f"-> rafiki {tuned_tp:>9,.0f}  ({gain:+.1%})"
+    )
+    return gain
+
+
+def main():
+    cassandra = CassandraLike()
+    scylla = ScyllaLike()
+
+    print("== Throughput stability at RR=70% (Figure 10) ==")
+    stability_report(cassandra, "cassandra")
+    stability_report(scylla, "scylladb")
+
+    print("\n== Which parameters does ScyllaDB actually honour? ==")
+    ignored = sorted(scylla.autotuned_parameters)
+    print(f"   ignored by the auto-tuner: {', '.join(ignored)}")
+    print(f"   Rafiki tunes instead    : {', '.join(SCYLLA_KEY_PARAMETERS)}")
+
+    print("\n== Rafiki gains: Cassandra vs ScyllaDB (Table 4 shape) ==")
+    cass_gain = tune_and_report(cassandra, CASSANDRA_KEY_PARAMETERS, 0.9, seed=11)
+    scylla_gain_70 = tune_and_report(scylla, SCYLLA_KEY_PARAMETERS, 0.7, seed=12)
+    scylla_gain_100 = tune_and_report(scylla, SCYLLA_KEY_PARAMETERS, 1.0, seed=12)
+
+    print(
+        "\n   The auto-tuner narrows the opportunity: "
+        f"Cassandra {cass_gain:+.0%} vs ScyllaDB {scylla_gain_70:+.0%} / "
+        f"{scylla_gain_100:+.0%} (paper: ~41% vs 12.3% / 9%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

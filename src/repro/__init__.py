@@ -1,0 +1,106 @@
+"""repro: a reproduction of Rafiki (Middleware 2017).
+
+Rafiki is a middleware for automatic parameter tuning of NoSQL
+datastores under dynamic (metagenomics) workloads: ANOVA selects the key
+configuration parameters, a Bayesian-regularized DNN ensemble learns a
+throughput surrogate ``AOPS = fnet(workload, configuration)``, and a
+genetic algorithm searches the surrogate for close-to-optimal settings
+in seconds instead of the months an exhaustive benchmark sweep would
+take.
+
+Because the original evaluation requires physical Cassandra/ScyllaDB
+testbeds, this package also ships the substrate: a working LSM-tree
+storage engine over simulated hardware whose throughput responds to the
+same mechanisms (compaction strategy, flush thresholds, caches, thread
+pools) the paper tunes.  See DESIGN.md for the substitution map.
+
+Quickstart::
+
+    from repro import CassandraLike, RafikiPipeline, mgrast_workload
+
+    cassandra = CassandraLike()
+    pipeline = RafikiPipeline(cassandra, mgrast_workload(0.5), seed=7)
+    rafiki, report = pipeline.run()
+    best = rafiki.recommend(read_ratio=0.9)
+    print(best.configuration.non_default_items())
+"""
+
+from repro.config import (
+    CASSANDRA_KEY_PARAMETERS,
+    Configuration,
+    ConfigurationSpace,
+    SCYLLA_KEY_PARAMETERS,
+    cassandra_space,
+    scylla_space,
+)
+from repro.datastore import CassandraLike, Cluster, EngineCluster, HashRing, ScyllaLike
+from repro.bench import (
+    BenchmarkResult,
+    DataCollectionCampaign,
+    PerformanceDataset,
+    PerformanceSample,
+    YCSBBenchmark,
+)
+from repro.core import (
+    ConfigurationOptimizer,
+    ExhaustiveSearch,
+    GreedySearch,
+    OnlineController,
+    OptimizationResult,
+    Rafiki,
+    RafikiPipeline,
+    RandomSearch,
+    SurrogateModel,
+    rank_parameters,
+    select_key_parameters,
+)
+from repro.workload import (
+    MGRastTraceGenerator,
+    Trace,
+    WorkloadSpec,
+    characterize_trace,
+)
+from repro.workload.spec import mgrast_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "Configuration",
+    "ConfigurationSpace",
+    "cassandra_space",
+    "scylla_space",
+    "CASSANDRA_KEY_PARAMETERS",
+    "SCYLLA_KEY_PARAMETERS",
+    # datastores
+    "CassandraLike",
+    "ScyllaLike",
+    "Cluster",
+    "EngineCluster",
+    "HashRing",
+    # benchmarking
+    "YCSBBenchmark",
+    "BenchmarkResult",
+    "DataCollectionCampaign",
+    "PerformanceDataset",
+    "PerformanceSample",
+    # core
+    "Rafiki",
+    "RafikiPipeline",
+    "SurrogateModel",
+    "ConfigurationOptimizer",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "RandomSearch",
+    "OptimizationResult",
+    "OnlineController",
+    "rank_parameters",
+    "select_key_parameters",
+    # workloads
+    "WorkloadSpec",
+    "mgrast_workload",
+    "MGRastTraceGenerator",
+    "Trace",
+    "characterize_trace",
+]

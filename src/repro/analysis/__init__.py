@@ -1,0 +1,15 @@
+"""Reporting helpers: paper-vs-measured tables from bench results."""
+
+from repro.analysis.reporting import (
+    ExperimentResult,
+    format_comparison_table,
+    load_results,
+    render_experiments_markdown,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "load_results",
+    "format_comparison_table",
+    "render_experiments_markdown",
+]

@@ -1,0 +1,103 @@
+"""Turn ``benchmarks/results/*.json`` into human-readable reports.
+
+The benches record, for every table and figure, the measured rows next
+to the paper's published numbers; these helpers render the comparisons
+(used by ``scripts/generate_experiments_md.py`` to refresh
+EXPERIMENTS.md and available to downstream users for their own runs).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One bench's recorded payload."""
+
+    name: str
+    payload: Dict
+
+    @property
+    def paper(self) -> Dict:
+        return self.payload.get("paper", {})
+
+
+def load_results(results_dir) -> Dict[str, ExperimentResult]:
+    """Load every ``<name>.json`` under ``results_dir``."""
+    results: Dict[str, ExperimentResult] = {}
+    directory = pathlib.Path(results_dir)
+    if not directory.exists():
+        return results
+    for path in sorted(directory.glob("*.json")):
+        with open(path) as fh:
+            results[path.stem] = ExperimentResult(name=path.stem, payload=json.load(fh))
+    return results
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) < 1 and value != 0:
+            return f"{value:.3f}"
+        return f"{value:.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_comparison_table(
+    rows: Sequence[tuple],
+    headers: tuple = ("metric", "paper", "measured"),
+) -> str:
+    """GitHub-markdown table from (metric, paper, measured) triples."""
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join(["---"] * len(headers)) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+    return "\n".join(lines)
+
+
+def render_experiments_markdown(results_dir) -> str:
+    """A compact paper-vs-measured digest across all recorded benches."""
+    results = load_results(results_dir)
+    if not results:
+        return "_No bench results found; run `pytest benchmarks/ --benchmark-only` first._"
+    sections: List[str] = []
+    for name, result in results.items():
+        sections.append(f"### {name}\n")
+        payload = dict(result.payload)
+        paper = payload.pop("paper", {})
+        if not isinstance(paper, dict):
+            paper = {}
+        flat = _flatten_scalars(payload)
+        paper_flat = _flatten_scalars(paper)
+        if flat:
+            rows = [(key, paper_flat.get(key, "-"), value) for key, value in flat.items()]
+            sections.append(format_comparison_table(rows))
+        else:
+            sections.append("_structured payload; see the JSON file_")
+        sections.append("")
+    return "\n".join(sections)
+
+
+def _flatten_scalars(payload: Dict, prefix: str = "", depth: int = 2) -> Dict:
+    """Scalar entries of a dict, flattening nested dicts to dotted keys."""
+    out: Dict = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[name] = value
+        elif isinstance(value, dict) and depth > 0:
+            out.update(_flatten_scalars(value, prefix=f"{name}.", depth=depth - 1))
+    return out

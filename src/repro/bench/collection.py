@@ -1,0 +1,118 @@
+"""The §4.2 data-collection campaign.
+
+"We use 11 different workloads spanning 10% increments between 0% and
+100% reads.  The number of configurations |C| = 20, resulting in 220
+total data points. ... 20 noisy/faulted samples were removed in our
+dataset, due to faults in the load-generating clients, thus leaving 200
+total samples."
+
+The campaign samples configurations with the §3.5 coverage rule (every
+key parameter's min, max, and default occur at least once), benchmarks
+every (workload, configuration) pair on a fresh server, optionally
+injects client faults into a deterministic subset of samples, and drops
+the faulted points — reproducing the 220 -> 200 pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bench.dataset import PerformanceDataset, PerformanceSample
+from repro.bench.metrics import BenchmarkResult
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config.space import Configuration
+from repro.datastore.base import Datastore
+from repro.sim.rng import SeedSequence
+from repro.workload.spec import WorkloadSpec
+
+#: §4.2 defaults.
+DEFAULT_WORKLOAD_COUNT = 11
+DEFAULT_CONFIG_COUNT = 20
+DEFAULT_FAULT_COUNT = 20
+
+
+class DataCollectionCampaign:
+    """Orchestrates the paper's offline benchmarking campaign."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        base_workload: WorkloadSpec,
+        key_parameters: Optional[Sequence[str]] = None,
+        n_workloads: int = DEFAULT_WORKLOAD_COUNT,
+        n_configurations: int = DEFAULT_CONFIG_COUNT,
+        n_faulty: int = DEFAULT_FAULT_COUNT,
+        benchmark: Optional[YCSBBenchmark] = None,
+        seed: int = 0,
+        progress: Optional[Callable[[int, int], None]] = None,
+    ):
+        if n_workloads < 2:
+            raise ValueError("need at least two workloads")
+        if n_configurations < 1:
+            raise ValueError("need at least one configuration")
+        self.datastore = datastore
+        self.base_workload = base_workload
+        self.key_parameters = tuple(key_parameters or datastore.key_parameters)
+        self.n_workloads = n_workloads
+        self.n_configurations = n_configurations
+        self.n_faulty = n_faulty
+        self.benchmark = benchmark or YCSBBenchmark(datastore)
+        self.seeds = SeedSequence(seed)
+        self.progress = progress
+
+    # -- plan ------------------------------------------------------------------
+
+    def workloads(self) -> List[WorkloadSpec]:
+        """Evenly spaced read ratios: 0%, 10%, ..., 100% for the default
+        11 (§4.2)."""
+        ratios = np.linspace(0.0, 1.0, self.n_workloads)
+        return [self.base_workload.with_read_ratio(float(r)) for r in ratios]
+
+    def configurations(self) -> List[Configuration]:
+        """Coverage-sampled configurations over the key parameters."""
+        rng = self.seeds.stream("config-sampling")
+        return self.datastore.space.coverage_sample(
+            rng, self.key_parameters, self.n_configurations
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> PerformanceDataset:
+        """Benchmark the full grid, drop faulted samples, return the rest."""
+        results = self.run_raw()
+        kept = [PerformanceSample.from_result(r) for r in results if not r.faulty]
+        return PerformanceDataset(kept, self.key_parameters)
+
+    def run_raw(self) -> List[BenchmarkResult]:
+        """All 220 results, with ``faulty`` marking injected client faults."""
+        workloads = self.workloads()
+        configs = self.configurations()
+        total = len(workloads) * len(configs)
+        fault_rng = self.seeds.stream("fault-injection")
+        faulty_indices = (
+            set(
+                fault_rng.choice(total, size=min(self.n_faulty, total), replace=False).tolist()
+            )
+            if self.n_faulty
+            else set()
+        )
+
+        results: List[BenchmarkResult] = []
+        index = 0
+        for config in configs:
+            for workload in workloads:
+                seed = self.seeds.stream(f"bench-{index}")
+                result = self.benchmark.run(config, workload, seed=seed)
+                if index in faulty_indices:
+                    # A fault in the load-generating client: the recorded
+                    # throughput is garbage (partially idle shooter).
+                    degradation = 0.2 + 0.5 * fault_rng.random()
+                    result.mean_throughput *= degradation
+                    result.faulty = True
+                results.append(result)
+                index += 1
+                if self.progress is not None:
+                    self.progress(index, total)
+        return results

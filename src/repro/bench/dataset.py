@@ -1,0 +1,185 @@
+"""Performance datasets: the training data for the surrogate model.
+
+A sample is the paper's ``S_i = {W_i, C_i, P_i}`` (§3.5): a workload, a
+configuration, and the measured performance.  The dataset knows how to
+encode itself into the surrogate's feature space — read ratio plus the
+unit-scaled key parameters (Equation 2) — and how to split along the
+configuration or workload dimension for the §4.7.2 holdout validations.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.metrics import BenchmarkResult
+from repro.config.space import Configuration, ConfigurationSpace
+from repro.errors import TrainingError
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class PerformanceSample:
+    """One (workload, configuration, AOPS) training point."""
+
+    workload: WorkloadSpec
+    configuration: Configuration
+    throughput: float
+
+    @classmethod
+    def from_result(cls, result: BenchmarkResult) -> "PerformanceSample":
+        return cls(
+            workload=result.workload,
+            configuration=result.configuration,
+            throughput=result.mean_throughput,
+        )
+
+
+class PerformanceDataset:
+    """An ordered collection of performance samples with ML encodings."""
+
+    def __init__(
+        self,
+        samples: Sequence[PerformanceSample],
+        feature_parameters: Sequence[str],
+    ):
+        self.samples: List[PerformanceSample] = list(samples)
+        self.feature_parameters: Tuple[str, ...] = tuple(feature_parameters)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+    def __getitem__(self, i):
+        return self.samples[i]
+
+    # -- encoding ---------------------------------------------------------------
+
+    @property
+    def feature_names(self) -> List[str]:
+        return ["read_ratio", *self.feature_parameters]
+
+    def features(self) -> np.ndarray:
+        """(n, 1 + J) matrix: RR plus unit-encoded key parameters."""
+        if not self.samples:
+            raise TrainingError("dataset is empty")
+        rows = []
+        for s in self.samples:
+            rows.append(
+                [s.workload.read_ratio, *s.configuration.to_vector(self.feature_parameters)]
+            )
+        return np.asarray(rows, dtype=float)
+
+    def targets(self) -> np.ndarray:
+        """(n,) vector of AOPS values."""
+        return np.asarray([s.throughput for s in self.samples], dtype=float)
+
+    # -- grouping and splitting ------------------------------------------------------
+
+    def distinct_configurations(self) -> List[Configuration]:
+        seen: Dict[Configuration, None] = {}
+        for s in self.samples:
+            seen.setdefault(s.configuration, None)
+        return list(seen)
+
+    def distinct_read_ratios(self) -> List[float]:
+        return sorted({round(s.workload.read_ratio, 6) for s in self.samples})
+
+    def split_by_configuration(
+        self, holdout_fraction: float, rng: np.random.Generator
+    ) -> Tuple["PerformanceDataset", "PerformanceDataset"]:
+        """Hold out whole configurations: "unseen configuration means that
+        no entries for Ci seen in the test set exists in the training
+        set" (§4.3)."""
+        configs = self.distinct_configurations()
+        return self._split_by_group(
+            holdout_fraction,
+            rng,
+            groups=configs,
+            group_of=lambda s: s.configuration,
+        )
+
+    def split_by_workload(
+        self, holdout_fraction: float, rng: np.random.Generator
+    ) -> Tuple["PerformanceDataset", "PerformanceDataset"]:
+        """Hold out whole workloads (read ratios)."""
+        ratios = self.distinct_read_ratios()
+        return self._split_by_group(
+            holdout_fraction,
+            rng,
+            groups=ratios,
+            group_of=lambda s: round(s.workload.read_ratio, 6),
+        )
+
+    def _split_by_group(self, holdout_fraction, rng, groups, group_of):
+        if not (0.0 < holdout_fraction < 1.0):
+            raise TrainingError("holdout_fraction must be in (0, 1)")
+        if len(groups) < 2:
+            raise TrainingError("need at least two groups to split")
+        n_holdout = max(1, int(round(holdout_fraction * len(groups))))
+        n_holdout = min(n_holdout, len(groups) - 1)
+        chosen = set(
+            rng.choice(len(groups), size=n_holdout, replace=False).tolist()
+        )
+        held = {g for i, g in enumerate(groups) if i in chosen}
+        train = [s for s in self.samples if group_of(s) not in held]
+        test = [s for s in self.samples if group_of(s) in held]
+        return (
+            PerformanceDataset(train, self.feature_parameters),
+            PerformanceDataset(test, self.feature_parameters),
+        )
+
+    def subset(self, indices: Sequence[int]) -> "PerformanceDataset":
+        return PerformanceDataset(
+            [self.samples[i] for i in indices], self.feature_parameters
+        )
+
+    def take(self, n: int, rng: Optional[np.random.Generator] = None) -> "PerformanceDataset":
+        """First ``n`` samples, or a random ``n`` if an rng is given
+        (Figure 7's learning-curve subsets)."""
+        if n > len(self.samples):
+            raise TrainingError(f"cannot take {n} from {len(self.samples)} samples")
+        if rng is None:
+            return self.subset(range(n))
+        idx = rng.choice(len(self.samples), size=n, replace=False)
+        return self.subset(sorted(int(i) for i in idx))
+
+    # -- persistence ----------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize (workload RR/name, non-default config, AOPS) rows."""
+        rows = [
+            {
+                "read_ratio": s.workload.read_ratio,
+                "workload": s.workload.label,
+                "config": {k: v for k, v in s.configuration.non_default_items().items()},
+                "throughput": s.throughput,
+            }
+            for s in self.samples
+        ]
+        return json.dumps(
+            {"feature_parameters": list(self.feature_parameters), "samples": rows},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(
+        cls, text: str, space: ConfigurationSpace, n_keys: int = 30_000_000
+    ) -> "PerformanceDataset":
+        blob = json.loads(text)
+        samples = [
+            PerformanceSample(
+                workload=WorkloadSpec(
+                    read_ratio=row["read_ratio"], n_keys=n_keys, name=row["workload"]
+                ),
+                configuration=Configuration(space, row["config"]),
+                throughput=row["throughput"],
+            )
+            for row in blob["samples"]
+        ]
+        return cls(samples, blob["feature_parameters"])

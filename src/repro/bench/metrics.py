@@ -1,0 +1,65 @@
+"""Benchmark metrics.
+
+The paper's metric of interest is mean throughput — "the average number
+of operations the system can perform per second" (§2.3); MG-RAST is
+throughput- rather than latency-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.workload.spec import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class ThroughputSample:
+    """One throughput observation (ops/s at simulated time ``t``)."""
+
+    t: float
+    ops_per_second: float
+
+
+@dataclass
+class BenchmarkResult:
+    """Outcome of one benchmark run: a (workload, config) -> AOPS sample."""
+
+    workload: WorkloadSpec
+    configuration: Configuration
+    mean_throughput: float
+    duration_seconds: float
+    series: List[ThroughputSample] = field(default_factory=list)
+    faulty: bool = False           # client fault injected (dropped in §4.2)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def aops(self) -> float:
+        """The paper's AOPS: average operations per second."""
+        return self.mean_throughput
+
+    def __repr__(self) -> str:
+        flag = " FAULTY" if self.faulty else ""
+        return (
+            f"BenchmarkResult({self.workload.label}, "
+            f"aops={self.mean_throughput:,.0f}{flag})"
+        )
+
+
+def summarize_throughput(series: Sequence[ThroughputSample]) -> Dict[str, float]:
+    """Summary statistics over a throughput time series."""
+    if not series:
+        raise ValueError("empty throughput series")
+    values = np.array([s.ops_per_second for s in series])
+    return {
+        "mean": float(values.mean()),
+        "std": float(values.std()),
+        "min": float(values.min()),
+        "max": float(values.max()),
+        "p50": float(np.percentile(values, 50)),
+        "p95": float(np.percentile(values, 95)),
+        "cov": float(values.std() / values.mean()) if values.mean() else 0.0,
+    }

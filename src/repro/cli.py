@@ -1,0 +1,209 @@
+"""Command-line interface for the Rafiki middleware.
+
+The offline/online split of the paper maps onto subcommands::
+
+    python -m repro collect   --datastore cassandra --out dataset.json
+    python -m repro train     --dataset dataset.json --out surrogate.json
+    python -m repro recommend --surrogate surrogate.json --read-ratio 0.9
+    python -m repro replay    --surrogate surrogate.json --hours 24
+    python -m repro characterize --hours 24
+
+``collect`` and ``train`` produce portable JSON artifacts; ``recommend``
+is the online call a datastore operator (or agent) makes when the
+workload shifts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.bench.dataset import PerformanceDataset
+from repro.config import CASSANDRA_KEY_PARAMETERS, SCYLLA_KEY_PARAMETERS
+from repro.core.controller import OnlineController
+from repro.core.persistence import load_surrogate, save_surrogate
+from repro.core.rafiki import Rafiki
+from repro.core.surrogate import SurrogateModel
+from repro.datastore import CassandraLike, ScyllaLike
+from repro.ml.ensemble import EnsembleConfig
+from repro.workload.characterize import characterize_trace
+from repro.workload.forecast import MarkovRegimeForecaster
+from repro.workload.mgrast import MGRastTraceGenerator
+from repro.workload.spec import mgrast_workload
+
+
+def _make_datastore(name: str):
+    if name == "cassandra":
+        return CassandraLike(), CASSANDRA_KEY_PARAMETERS
+    if name == "scylladb":
+        return ScyllaLike(), SCYLLA_KEY_PARAMETERS
+    raise SystemExit(f"unknown datastore {name!r} (cassandra | scylladb)")
+
+
+# ------------------------------------------------------------------ subcommands
+
+
+def cmd_collect(args) -> int:
+    datastore, key_params = _make_datastore(args.datastore)
+    campaign = DataCollectionCampaign(
+        datastore,
+        mgrast_workload(args.base_read_ratio),
+        key_parameters=key_params,
+        n_workloads=args.workloads,
+        n_configurations=args.configurations,
+        n_faulty=args.faulty,
+        seed=args.seed,
+        progress=(
+            (lambda i, total: print(f"\r   sample {i}/{total}", end="", flush=True))
+            if not args.quiet
+            else None
+        ),
+    )
+    dataset = campaign.run()
+    if not args.quiet:
+        print()
+    with open(args.out, "w") as fh:
+        fh.write(dataset.to_json())
+    print(f"wrote {len(dataset)} samples to {args.out}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    datastore, _ = _make_datastore(args.datastore)
+    with open(args.dataset) as fh:
+        dataset = PerformanceDataset.from_json(fh.read(), datastore.space)
+    surrogate = SurrogateModel(
+        datastore.space,
+        dataset.feature_parameters,
+        EnsembleConfig(n_networks=args.networks),
+    ).fit(dataset, seed=args.seed)
+    save_surrogate(surrogate, args.out)
+    print(
+        f"trained on {len(dataset)} samples "
+        f"({surrogate.ensemble.active_count} nets kept); wrote {args.out}"
+    )
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    datastore, key_params = _make_datastore(args.datastore)
+    surrogate = load_surrogate(args.surrogate, datastore.space)
+    rafiki = Rafiki(datastore, surrogate, surrogate.feature_parameters, seed=args.seed)
+    result = rafiki.recommend(args.read_ratio)
+    payload = {
+        "read_ratio": args.read_ratio,
+        "predicted_throughput": result.predicted_throughput,
+        "surrogate_evaluations": result.evaluations,
+        "configuration": {
+            k: v for k, v in result.configuration.non_default_items().items()
+        },
+    }
+    print(json.dumps(payload, indent=2, default=float))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    datastore, _ = _make_datastore(args.datastore)
+    surrogate = load_surrogate(args.surrogate, datastore.space)
+    rafiki = Rafiki(datastore, surrogate, surrogate.feature_parameters, seed=args.seed)
+    series = MGRastTraceGenerator(seed=args.seed).read_ratio_series(args.hours * 3600)
+    base_workload = mgrast_workload(0.5)
+
+    static = OnlineController(datastore, None, base_workload, seed=args.seed).run(series)
+    controller = OnlineController(
+        datastore,
+        rafiki,
+        base_workload,
+        decision_mode=args.mode,
+        forecaster=MarkovRegimeForecaster() if args.mode == "forecast" else None,
+        seed=args.seed,
+    )
+    tuned = controller.run(series)
+    gain = tuned.mean_throughput / static.mean_throughput - 1.0
+    print(f"windows:          {len(series)}")
+    print(f"static default:   {static.mean_throughput:>12,.0f} ops/s")
+    print(f"rafiki ({args.mode:>8}): {tuned.mean_throughput:>12,.0f} ops/s ({gain:+.1%})")
+    print(f"reconfigurations: {tuned.reconfiguration_count}")
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    generator = MGRastTraceGenerator(seed=args.seed, queries_per_window=args.queries)
+    trace = generator.generate(duration_seconds=args.hours * 3600)
+    ch = characterize_trace(trace)
+    payload = {
+        "windows": ch.n_windows,
+        "window_seconds": ch.window_seconds,
+        "overall_read_ratio": ch.overall_read_ratio,
+        "krd_mean_ops": ch.krd_mean_ops,
+        "krd_samples": ch.krd_samples,
+        "read_ratios": list(ch.read_ratios),
+    }
+    print(json.dumps(payload, indent=2, default=float))
+    return 0
+
+
+# ------------------------------------------------------------------ parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Rafiki NoSQL-tuning middleware (reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("--datastore", default="cassandra", help="cassandra | scylladb")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("collect", help="run the offline benchmarking campaign")
+    add_common(p)
+    p.add_argument("--out", required=True, help="dataset JSON path")
+    p.add_argument("--base-read-ratio", type=float, default=0.5)
+    p.add_argument("--workloads", type=int, default=11)
+    p.add_argument("--configurations", type=int, default=20)
+    p.add_argument("--faulty", type=int, default=20)
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_collect)
+
+    p = sub.add_parser("train", help="train the surrogate on a dataset")
+    add_common(p)
+    p.add_argument("--dataset", required=True)
+    p.add_argument("--out", required=True, help="surrogate JSON path")
+    p.add_argument("--networks", type=int, default=20)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("recommend", help="search for a configuration")
+    add_common(p)
+    p.add_argument("--surrogate", required=True)
+    p.add_argument("--read-ratio", type=float, required=True)
+    p.set_defaults(func=cmd_recommend)
+
+    p = sub.add_parser("replay", help="replay a dynamic MG-RAST day")
+    add_common(p)
+    p.add_argument("--surrogate", required=True)
+    p.add_argument("--hours", type=int, default=24)
+    p.add_argument(
+        "--mode", default="oracle", choices=("oracle", "reactive", "forecast")
+    )
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("characterize", help="synthesize + characterize a trace")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--hours", type=int, default=24)
+    p.add_argument("--queries", type=int, default=1000, help="queries per window")
+    p.set_defaults(func=cmd_characterize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Configuration parameter spaces for the tuned datastores.
+
+Implements the paper's notation (§3.2): a database exposes parameters
+``P = {p1..pJ}`` each with constraints and a default; a configuration
+``C = {v1..vJ}`` assigns values, with unmentioned parameters at their
+defaults.
+"""
+
+from repro.config.parameter import (
+    CategoricalParameter,
+    IntegerParameter,
+    FloatParameter,
+    ParameterSpec,
+)
+from repro.config.space import Configuration, ConfigurationSpace
+from repro.config.cassandra import (
+    cassandra_space,
+    CASSANDRA_KEY_PARAMETERS,
+)
+from repro.config.scylla import scylla_space, SCYLLA_KEY_PARAMETERS
+
+__all__ = [
+    "ParameterSpec",
+    "CategoricalParameter",
+    "IntegerParameter",
+    "FloatParameter",
+    "Configuration",
+    "ConfigurationSpace",
+    "cassandra_space",
+    "CASSANDRA_KEY_PARAMETERS",
+    "scylla_space",
+    "SCYLLA_KEY_PARAMETERS",
+]

@@ -1,0 +1,247 @@
+"""Cassandra 3.7 performance-parameter space.
+
+The paper works from ``cassandra.yaml``: 50+ parameters, "around half of
+which are related to performance tuning" (§3.4.1).  We model the 25
+performance-related ones.  Five of them — the paper's "key parameters"
+(§3.4.1) — have first-order effects in the simulated engine:
+
+* ``compaction_method`` (CM)          — Size-Tiered vs Leveled
+* ``concurrent_writes`` (CW)          — write worker threads
+* ``file_cache_size_in_mb`` (FCZ)     — SSTable block cache
+* ``memtable_cleanup_threshold`` (MT) — flush trigger fraction
+* ``concurrent_compactors`` (CC)      — parallel compaction processes
+
+A second tier (flush writers, memtable space, read concurrency, bloom FP
+chance, compaction throttle, ...) has weaker but measurable effects so the
+ANOVA ranking in Figure 5 has a realistic tail; the rest are plumbing
+whose variation is pure noise.
+"""
+
+from __future__ import annotations
+
+from repro.config.parameter import (
+    CategoricalParameter,
+    FloatParameter,
+    IntegerParameter,
+)
+from repro.config.space import ConfigurationSpace
+
+#: Compaction strategy labels (the third vendor option, TimeWindow, is for
+#: TTL/time-series data and explicitly out of scope in the paper).
+SIZE_TIERED = "SizeTieredCompactionStrategy"
+LEVELED = "LeveledCompactionStrategy"
+
+#: The five key parameters Rafiki tunes for Cassandra (paper §3.4.1).
+CASSANDRA_KEY_PARAMETERS = (
+    "compaction_method",
+    "concurrent_writes",
+    "file_cache_size_in_mb",
+    "memtable_cleanup_threshold",
+    "concurrent_compactors",
+)
+
+
+def cassandra_space() -> ConfigurationSpace:
+    """Build the Cassandra configuration space with vendor defaults."""
+    params = [
+        # ---- the five key parameters -------------------------------------------
+        CategoricalParameter(
+            name="compaction_method",
+            default=SIZE_TIERED,
+            choices=(SIZE_TIERED, LEVELED),
+            description=(
+                "Table-level compaction strategy; Size-Tiered favors writes, "
+                "Leveled favors reads (paper §2.2.2)."
+            ),
+        ),
+        IntegerParameter(
+            name="concurrent_writes",
+            default=32,
+            low=16,
+            high=96,
+            description=(
+                "Independent write worker threads; vendor recommends "
+                "8 x CPU cores."
+            ),
+        ),
+        IntegerParameter(
+            name="file_cache_size_in_mb",
+            default=512,
+            low=32,
+            high=2048,
+            description=(
+                "Buffer holding SSTable blocks read from disk; default is "
+                "min(heap/4, 512MB)."
+            ),
+        ),
+        FloatParameter(
+            name="memtable_cleanup_threshold",
+            default=0.11,
+            low=0.10,
+            high=0.50,
+            description=(
+                "Fraction of memtable space that triggers a flush; controls "
+                "flush frequency and hence SSTable creation rate."
+            ),
+        ),
+        IntegerParameter(
+            name="concurrent_compactors",
+            default=2,
+            low=1,
+            high=8,
+            description=(
+                "Concurrent compaction processes per server; vendor suggests "
+                "min(disks, cores), between 2 and 8."
+            ),
+        ),
+        # ---- second tier: measurable, weaker effects --------------------------------
+        IntegerParameter(
+            name="memtable_flush_writers",
+            default=2,
+            low=1,
+            high=8,
+            description="Threads that write memtable flushes to disk.",
+        ),
+        IntegerParameter(
+            name="memtable_heap_space_in_mb",
+            default=2048,
+            low=256,
+            high=8192,
+            description="On-heap space shared by all memtables.",
+        ),
+        IntegerParameter(
+            name="memtable_offheap_space_in_mb",
+            default=2048,
+            low=256,
+            high=8192,
+            description="Off-heap space shared by all memtables.",
+        ),
+        IntegerParameter(
+            name="concurrent_reads",
+            default=32,
+            low=16,
+            high=96,
+            description="Independent read worker threads; vendor: 16 x disks.",
+        ),
+        FloatParameter(
+            name="bloom_filter_fp_chance",
+            default=0.01,
+            low=0.001,
+            high=0.05,
+            description=(
+                "Bloom filter false-positive rate; higher saves memory but "
+                "adds useless SSTable probes on reads."
+            ),
+        ),
+        IntegerParameter(
+            name="compaction_throughput_mb_per_sec",
+            default=16,
+            low=8,
+            high=32,
+            description=(
+                "Per-compactor disk-bandwidth throttle; the vendor advises "
+                "16-32 MB/s on magnetic disks (DBA-supplied range, paper 3.8)."
+            ),
+        ),
+        IntegerParameter(
+            name="key_cache_size_in_mb",
+            default=100,
+            low=0,
+            high=1024,
+            description="Cache of partition-key index positions.",
+        ),
+        IntegerParameter(
+            name="row_cache_size_in_mb",
+            default=0,
+            low=0,
+            high=2048,
+            description=(
+                "Whole-row cache; with MG-RAST's huge key-reuse distance it "
+                "is nearly useless (paper §1)."
+            ),
+        ),
+        IntegerParameter(
+            name="commitlog_sync_period_in_ms",
+            default=10000,
+            low=100,
+            high=60000,
+            description="Period between commit-log fsyncs in periodic mode.",
+        ),
+        IntegerParameter(
+            name="commitlog_segment_size_in_mb",
+            default=32,
+            low=8,
+            high=128,
+            description="Size of individual commit-log segments.",
+        ),
+        IntegerParameter(
+            name="sstable_size_in_mb",
+            default=160,
+            low=32,
+            high=512,
+            description="Target SSTable size for Leveled compaction.",
+        ),
+        # ---- plumbing: no first-order performance effect -------------------------------
+        CategoricalParameter(
+            name="memtable_allocation_type",
+            default="heap_buffers",
+            choices=("heap_buffers", "offheap_buffers", "offheap_objects"),
+            description="Memtable memory allocation policy.",
+        ),
+        CategoricalParameter(
+            name="trickle_fsync",
+            default="false",
+            choices=("false", "true"),
+            description="fsync in small increments during sequential writes.",
+        ),
+        IntegerParameter(
+            name="native_transport_max_threads",
+            default=128,
+            low=16,
+            high=1024,
+            description="Max CQL transport threads.",
+        ),
+        IntegerParameter(
+            name="column_index_size_in_kb",
+            default=64,
+            low=4,
+            high=512,
+            description="Granularity of the row column index.",
+        ),
+        IntegerParameter(
+            name="index_summary_capacity_in_mb",
+            default=128,
+            low=16,
+            high=512,
+            description="Memory for SSTable index summaries.",
+        ),
+        IntegerParameter(
+            name="batch_size_warn_threshold_in_kb",
+            default=5,
+            low=1,
+            high=64,
+            description="Warn threshold for batch sizes (logging only).",
+        ),
+        IntegerParameter(
+            name="compaction_large_partition_warning_threshold_mb",
+            default=100,
+            low=10,
+            high=1000,
+            description="Warn threshold for large partitions (logging only).",
+        ),
+        IntegerParameter(
+            name="dynamic_snitch_update_interval_in_ms",
+            default=100,
+            low=10,
+            high=10000,
+            description="Snitch score recalculation period.",
+        ),
+        IntegerParameter(
+            name="range_request_timeout_in_ms",
+            default=10000,
+            low=1000,
+            high=60000,
+            description="Server-side range query timeout.",
+        ),
+    ]
+    return ConfigurationSpace("cassandra-3.7", params)

@@ -1,0 +1,58 @@
+"""ScyllaDB configuration space.
+
+ScyllaDB is API- and file-format-compatible with Cassandra but ships an
+internal auto-tuner: "user settings for many configuration parameters are
+ignored by ScyllaDB, giving preference to its internal auto-tuning"
+(paper §4.10).  We expose the same parameter names as Cassandra and record
+which ones the auto-tuner overrides; the simulated ScyllaDB engine
+consults that set.
+
+The paper's Scylla procedure (§4.10): take the Cassandra ANOVA ranking,
+strip parameters ScyllaDB ignores, and add the next-ranked parameters
+until five remain.
+"""
+
+from __future__ import annotations
+
+from repro.config.cassandra import cassandra_space
+from repro.config.space import ConfigurationSpace
+
+#: Parameters whose user-supplied values ScyllaDB's internal tuner
+#: overrides with its own runtime decisions.  Scylla sizes I/O and CPU
+#: concurrency itself (its "IO scheduler"), and manages its own unified
+#: cache rather than a user-sized file cache.
+SCYLLA_AUTOTUNED_PARAMETERS = frozenset(
+    {
+        "concurrent_writes",
+        "concurrent_reads",
+        "file_cache_size_in_mb",
+        "concurrent_compactors",
+        "key_cache_size_in_mb",
+        "row_cache_size_in_mb",
+        "native_transport_max_threads",
+    }
+)
+
+#: The five key parameters Rafiki ends up tuning for ScyllaDB after
+#: stripping auto-tuned ones from the Cassandra ANOVA ranking, applying
+#: the §4.5 memtable-family consolidation, and topping up by variance
+#: (paper §4.10, Table 4).
+SCYLLA_KEY_PARAMETERS = (
+    "compaction_method",
+    "memtable_cleanup_threshold",
+    "compaction_throughput_mb_per_sec",
+    "bloom_filter_fp_chance",
+    "sstable_size_in_mb",
+)
+
+
+def scylla_space() -> ConfigurationSpace:
+    """Build the ScyllaDB configuration space.
+
+    Same parameters and defaults as Cassandra (Scylla reads a
+    ``scylla.yaml`` with largely identical keys); the semantic difference
+    — which values actually take effect — lives in the engine via
+    :data:`SCYLLA_AUTOTUNED_PARAMETERS`.
+    """
+    base = cassandra_space()
+    return ConfigurationSpace("scylladb-1.6", base.parameters)

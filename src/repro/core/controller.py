@@ -1,0 +1,163 @@
+"""Online reconfiguration controller.
+
+Applies Rafiki to a live workload: watch the RR of each 15-minute
+window, and when the regime shifts, search the surrogate and push the
+new configuration to the server.  The paper's future work is minimizing
+reconfiguration downtime; here a configurable penalty models the
+disruption (cache demotion is already modelled inside ``reconfigure``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.core.rafiki import Rafiki
+from repro.datastore.base import Datastore
+from repro.errors import SearchError
+from repro.lsm.analytic import AnalyticLSMModel
+from repro.sim.rng import SeedLike
+from repro.workload.forecast import RRForecaster
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import DEFAULT_WINDOW_SECONDS
+
+
+@dataclass
+class ControllerEvent:
+    """One window's outcome."""
+
+    window_index: int
+    read_ratio: float
+    reconfigured: bool
+    configuration: Configuration
+    mean_throughput: float
+
+
+@dataclass
+class ControllerRun:
+    """Full run summary."""
+
+    events: List[ControllerEvent] = field(default_factory=list)
+
+    @property
+    def mean_throughput(self) -> float:
+        if not self.events:
+            raise SearchError("controller run is empty")
+        return float(np.mean([e.mean_throughput for e in self.events]))
+
+    @property
+    def reconfiguration_count(self) -> int:
+        return sum(1 for e in self.events if e.reconfigured)
+
+
+class OnlineController:
+    """Drives one simulated server through an RR window series."""
+
+    #: How the controller knows the window's read ratio when it decides:
+    #: "oracle"   — the current window's RR (the paper's setting: RR is
+    #:              stationary within a window, so a few minutes of
+    #:              observation plus a seconds-fast search approximate
+    #:              knowing it up front);
+    #: "reactive" — the previous window's RR (pure measurement lag);
+    #: "forecast" — an online forecaster's one-step-ahead prediction
+    #:              (the paper's future work, see repro.workload.forecast).
+    DECISION_MODES = ("oracle", "reactive", "forecast")
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        rafiki: Optional[Rafiki],
+        base_workload: WorkloadSpec,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        rr_change_threshold: float = 0.08,
+        reconfiguration_penalty_s: float = 5.0,
+        decision_mode: str = "oracle",
+        forecaster: Optional["RRForecaster"] = None,
+        seed: SeedLike = 0,
+    ):
+        """``rafiki=None`` runs the static-default baseline."""
+        if decision_mode not in self.DECISION_MODES:
+            raise SearchError(f"unknown decision mode {decision_mode!r}")
+        if decision_mode == "forecast" and forecaster is None:
+            raise SearchError("forecast mode needs a forecaster")
+        self.datastore = datastore
+        self.rafiki = rafiki
+        self.base_workload = base_workload
+        self.window_seconds = window_seconds
+        self.rr_change_threshold = rr_change_threshold
+        self.reconfiguration_penalty_s = reconfiguration_penalty_s
+        self.decision_mode = decision_mode
+        self.forecaster = forecaster
+        self.seed = seed
+
+    def run(self, rr_series: Sequence[float], load: bool = True) -> ControllerRun:
+        """Replay an RR window series against one long-lived server."""
+        if len(rr_series) == 0:
+            raise SearchError("empty RR series")
+        config = self.datastore.default_configuration()
+        model: AnalyticLSMModel = self.datastore.new_analytic_instance(
+            config, profile=self.base_workload.to_profile(), seed=self.seed
+        )
+        if load:
+            model.load(self.base_workload.n_keys)
+            model.settle()
+
+        run = ControllerRun()
+        last_decision_rr: Optional[float] = None
+        previous_rr: Optional[float] = None
+        for w, rr in enumerate(rr_series):
+            rr = float(np.clip(rr, 0.0, 1.0))
+            decision_rr = self._decision_rr(rr, previous_rr)
+            reconfigured = False
+            if (
+                self.rafiki is not None
+                and decision_rr is not None
+                and (
+                    last_decision_rr is None
+                    or abs(decision_rr - last_decision_rr) >= self.rr_change_threshold
+                )
+            ):
+                new_config = self.rafiki.recommend(decision_rr).configuration
+                if new_config != config:
+                    model.reconfigure(self.datastore.effective_knobs(new_config))
+                    config = new_config
+                    reconfigured = True
+                last_decision_rr = decision_rr
+            if self.forecaster is not None:
+                self.forecaster.update(rr)
+            previous_rr = rr
+
+            duration = self.window_seconds
+            # Proactive (forecast-driven) reconfiguration happens at the
+            # window boundary, overlapping idle time; reactive/oracle
+            # reconfiguration eats into the window.
+            proactive = self.decision_mode == "forecast"
+            lost = (
+                0.0
+                if (proactive or not reconfigured)
+                else self.reconfiguration_penalty_s
+            )
+            steps = model.run(rr, duration - lost, dt=1.0)
+            window_ops = sum(s.throughput * s.dt for s in steps)
+            run.events.append(
+                ControllerEvent(
+                    window_index=w,
+                    read_ratio=rr,
+                    reconfigured=reconfigured,
+                    configuration=config,
+                    # Downtime counts against the window's mean.
+                    mean_throughput=window_ops / duration,
+                )
+            )
+        return run
+
+    def _decision_rr(self, current_rr: float, previous_rr: Optional[float]):
+        """The RR the controller believes when choosing a configuration."""
+        if self.decision_mode == "oracle":
+            return current_rr
+        if self.decision_mode == "reactive":
+            return previous_rr  # None in the very first window: no info yet
+        return float(np.clip(self.forecaster.predict(), 0.0, 1.0))

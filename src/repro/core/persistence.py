@@ -1,0 +1,122 @@
+"""Persistence for trained surrogates.
+
+Rafiki's offline phase costs hours of (real-world) benchmarking; the
+online phase may run in a different process on the database host.  These
+helpers serialize a trained :class:`~repro.core.surrogate.SurrogateModel`
+— ensemble weights, scalers, and feature schema — to a self-describing
+JSON document, and restore it against a configuration space.
+
+JSON keeps the artifact human-inspectable and dependency-free; the
+weight payload for a paper-sized ensemble (14 nets x 163 weights) is a
+few hundred kilobytes.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.config.space import ConfigurationSpace
+from repro.core.surrogate import SurrogateModel
+from repro.errors import TrainingError
+from repro.ml.ensemble import EnsembleConfig, NetworkEnsemble
+from repro.ml.network import FeedForwardNetwork
+from repro.ml.scaler import StandardScaler
+
+FORMAT_VERSION = 1
+
+
+def _scaler_to_dict(scaler: StandardScaler) -> Dict:
+    if not scaler.is_fitted:
+        raise TrainingError("cannot serialize an unfitted scaler")
+    return {"mean": scaler.mean_.tolist(), "scale": scaler.scale_.tolist()}
+
+
+def _scaler_from_dict(blob: Dict) -> StandardScaler:
+    scaler = StandardScaler()
+    scaler.mean_ = np.asarray(blob["mean"], dtype=float)
+    scaler.scale_ = np.asarray(blob["scale"], dtype=float)
+    return scaler
+
+
+def surrogate_to_dict(surrogate: SurrogateModel) -> Dict:
+    """Serialize a fitted surrogate to a JSON-ready dictionary."""
+    if not surrogate.is_fitted:
+        raise TrainingError("cannot serialize an unfitted surrogate")
+    ensemble = surrogate.ensemble
+    return {
+        "format_version": FORMAT_VERSION,
+        "space_name": surrogate.space.name,
+        "feature_parameters": list(surrogate.feature_parameters),
+        "ensemble_config": {
+            "hidden_layers": list(ensemble.config.hidden_layers),
+            "n_networks": ensemble.config.n_networks,
+            "prune_fraction": ensemble.config.prune_fraction,
+            "max_epochs": ensemble.config.max_epochs,
+        },
+        "x_scaler": _scaler_to_dict(ensemble.x_scaler),
+        "y_scaler": _scaler_to_dict(ensemble.y_scaler),
+        "networks": [
+            {"layer_sizes": net.layer_sizes, "weights": net.get_weights().tolist()}
+            for net in ensemble.networks
+        ],
+    }
+
+
+def surrogate_from_dict(blob: Dict, space: ConfigurationSpace) -> SurrogateModel:
+    """Restore a surrogate serialized by :func:`surrogate_to_dict`.
+
+    The configuration space is supplied by the caller (it is code, not
+    data); its parameters must cover the stored feature schema.
+    """
+    if blob.get("format_version") != FORMAT_VERSION:
+        raise TrainingError(
+            f"unsupported surrogate format {blob.get('format_version')!r}"
+        )
+    features = blob["feature_parameters"]
+    missing = [name for name in features if name not in space]
+    if missing:
+        raise TrainingError(f"space lacks stored feature parameters: {missing}")
+
+    cfg = blob["ensemble_config"]
+    surrogate = SurrogateModel(
+        space,
+        features,
+        EnsembleConfig(
+            hidden_layers=tuple(cfg["hidden_layers"]),
+            n_networks=cfg["n_networks"],
+            prune_fraction=cfg["prune_fraction"],
+            max_epochs=cfg["max_epochs"],
+        ),
+    )
+    ensemble = surrogate.ensemble
+    ensemble.x_scaler = _scaler_from_dict(blob["x_scaler"])
+    ensemble.y_scaler = _scaler_from_dict(blob["y_scaler"])
+    networks = []
+    for net_blob in blob["networks"]:
+        net = FeedForwardNetwork(net_blob["layer_sizes"], rng=np.random.default_rng(0))
+        net.set_weights(np.asarray(net_blob["weights"], dtype=float))
+        networks.append(net)
+    if not networks:
+        raise TrainingError("stored surrogate has no networks")
+    ensemble.networks = networks
+    return surrogate
+
+
+def save_surrogate(surrogate: SurrogateModel, path: Union[str, pathlib.Path]) -> None:
+    """Write a fitted surrogate to ``path`` as JSON."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(surrogate_to_dict(surrogate), fh)
+
+
+def load_surrogate(
+    path: Union[str, pathlib.Path], space: ConfigurationSpace
+) -> SurrogateModel:
+    """Read a surrogate written by :func:`save_surrogate`."""
+    with open(path) as fh:
+        return surrogate_from_dict(json.load(fh), space)

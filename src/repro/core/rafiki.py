@@ -1,0 +1,275 @@
+"""The Rafiki middleware (paper Figure 1).
+
+:class:`RafikiPipeline` runs the offline phases — workload
+characterization, ANOVA parameter identification, data collection,
+surrogate training — and produces a :class:`Rafiki` instance: the online
+component that, given an observed read ratio, searches the surrogate
+with a GA and returns a close-to-optimal configuration in seconds.
+
+The §3.8 "DBA level of intervention" is the constructor signature: the
+DBA supplies the performance metric (throughput, via the benchmark), the
+eligible parameter list with valid ranges (the configuration space), and
+a representative trace (or a base workload spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.bench.dataset import PerformanceDataset
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config.space import Configuration
+from repro.core.anova import (
+    AnovaRanking,
+    consolidate_memtable_parameters,
+    rank_parameters,
+    select_key_parameters,
+)
+from repro.core.search import ConfigurationOptimizer, OptimizationResult
+from repro.core.surrogate import SurrogateModel
+from repro.datastore.base import Datastore
+from repro.datastore.scylla import ScyllaLike
+from repro.errors import SearchError, TrainingError
+from repro.ml.ensemble import EnsembleConfig
+from repro.sim.rng import SeedSequence
+from repro.workload.characterize import WorkloadCharacterization, characterize_trace
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import Trace
+
+
+@dataclass
+class PipelineReport:
+    """Everything the offline pipeline produced, for inspection."""
+
+    characterization: Optional[WorkloadCharacterization]
+    ranking: Optional[AnovaRanking]
+    key_parameters: List[str]
+    dataset: PerformanceDataset
+    surrogate: SurrogateModel
+
+
+class Rafiki:
+    """The online tuner: observed workload in, configuration out."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        surrogate: SurrogateModel,
+        key_parameters: Sequence[str],
+        seed: int = 0,
+        rr_cache_resolution: float = 0.05,
+    ):
+        self.datastore = datastore
+        self.surrogate = surrogate
+        self.key_parameters = tuple(key_parameters)
+        self.optimizer = ConfigurationOptimizer(surrogate, self.key_parameters)
+        self.seeds = SeedSequence(seed)
+        self.rr_cache_resolution = rr_cache_resolution
+        self._cache: Dict[float, OptimizationResult] = {}
+
+    def recommend(self, read_ratio: float, use_cache: bool = True) -> OptimizationResult:
+        """Close-to-optimal configuration for the observed read ratio.
+
+        Results are cached on a quantized RR grid: when the workload
+        oscillates between regimes (Figure 3), revisiting a regime is
+        free — part of how Rafiki reacts within seconds.
+        """
+        if not (0.0 <= read_ratio <= 1.0):
+            raise SearchError("read_ratio must be in [0, 1]")
+        key = round(read_ratio / self.rr_cache_resolution) * self.rr_cache_resolution
+        key = round(key, 6)
+        if use_cache and key in self._cache:
+            return self._cache[key]
+        result = self.optimizer.optimize(
+            key, seed=self.seeds.stream(f"search-rr{key}")
+        )
+        self._cache[key] = result
+        return result
+
+    def predicted_throughput(self, read_ratio: float, config: Configuration) -> float:
+        return self.surrogate.predict(read_ratio, config)
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the trained surrogate (the expensive artifact).
+
+        The datastore and key-parameter schema are code; only the model
+        weights travel.  Restore with :meth:`load`.
+        """
+        from repro.core.persistence import save_surrogate
+
+        save_surrogate(self.surrogate, path)
+
+    @classmethod
+    def load(cls, path, datastore: Datastore, seed: int = 0) -> "Rafiki":
+        """Rebuild a Rafiki from a surrogate saved by :meth:`save`."""
+        from repro.core.persistence import load_surrogate
+
+        surrogate = load_surrogate(path, datastore.space)
+        return cls(datastore, surrogate, surrogate.feature_parameters, seed=seed)
+
+
+class RafikiPipeline:
+    """Offline phases: characterize -> ANOVA -> collect -> train."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        base_workload: WorkloadSpec,
+        benchmark: Optional[YCSBBenchmark] = None,
+        ensemble_config: Optional[EnsembleConfig] = None,
+        n_workloads: int = 11,
+        n_configurations: int = 20,
+        n_faulty: int = 20,
+        anova_repeats: int = 2,
+        key_parameter_count: int = 5,
+        seed: int = 0,
+        cassandra_ranking: Optional[AnovaRanking] = None,
+        progress: Optional[Callable[[str], None]] = None,
+    ):
+        self.datastore = datastore
+        self.base_workload = base_workload
+        self.benchmark = benchmark or YCSBBenchmark(datastore)
+        self.ensemble_config = ensemble_config
+        self.n_workloads = n_workloads
+        self.n_configurations = n_configurations
+        self.n_faulty = n_faulty
+        self.anova_repeats = anova_repeats
+        self.key_parameter_count = key_parameter_count
+        self.seed = seed
+        self.cassandra_ranking = cassandra_ranking
+        self.progress = progress or (lambda msg: None)
+
+    # -- stage 1 ------------------------------------------------------------------
+
+    def characterize(self, trace: Trace) -> WorkloadCharacterization:
+        """§3.3: RR windows + exponential KRD fit from a raw trace."""
+        self.progress("characterizing workload trace")
+        return characterize_trace(trace)
+
+    # -- stage 2 ------------------------------------------------------------------
+
+    def identify_key_parameters(self) -> tuple:
+        """§3.4: OFAT ANOVA ranking, knee cut, memtable consolidation.
+
+        For ScyllaDB the paper's §4.10 correction applies: the internal
+        auto-tuner contaminates direct ANOVA, so we start from the
+        Cassandra ranking (if provided), strip auto-tuned parameters, and
+        top up by variance until five parameters remain.
+        """
+        if isinstance(self.datastore, ScyllaLike) and self.cassandra_ranking is not None:
+            self.progress("deriving ScyllaDB key parameters from Cassandra ANOVA")
+            ranking = self.cassandra_ranking.without(
+                self.datastore.autotuned_parameters
+            )
+            selected = self._top_up(ranking, self.key_parameter_count)
+            return ranking, selected
+
+        self.progress("running one-factor-at-a-time ANOVA")
+        ranking = rank_parameters(
+            self.datastore,
+            self.base_workload,
+            repeats=self.anova_repeats,
+            benchmark=self.benchmark,
+            seed=self.seed,
+            progress=lambda name: self.progress(f"  anova: {name}"),
+        )
+        selected = select_key_parameters(ranking)
+        # Consolidate the flush-parameter family (§4.5), then keep the
+        # paper's "top parameters" count, topping up from the ranking if
+        # consolidation shrank the set ("adding in new parameters, sorted
+        # by variance, until 5 parameters are in the set", §4.10).
+        selected = consolidate_memtable_parameters(selected)
+        if len(selected) < self.key_parameter_count:
+            selected = self._top_up(ranking, self.key_parameter_count, seed_list=selected)
+        return ranking, selected[: self.key_parameter_count]
+
+    def _top_up(self, ranking: AnovaRanking, count: int, seed_list=()) -> List[str]:
+        """Walk the ranking, applying the §4.5 consolidation rule, until
+        ``count`` parameters are collected."""
+        selected = list(seed_list)
+        for effect in ranking:
+            candidate = consolidate_memtable_parameters([*selected, effect.name])
+            for name in candidate:
+                if name not in selected:
+                    selected.append(name)
+            if len(selected) >= count:
+                break
+        return selected[:count]
+
+    # -- stage 3 ------------------------------------------------------------------
+
+    def collect(self, key_parameters: Sequence[str]) -> PerformanceDataset:
+        """§3.5/§4.2: the 11x20 campaign with faulty samples dropped."""
+        self.progress("collecting training data")
+        campaign = DataCollectionCampaign(
+            self.datastore,
+            self.base_workload,
+            key_parameters=key_parameters,
+            n_workloads=self.n_workloads,
+            n_configurations=self.n_configurations,
+            n_faulty=self.n_faulty,
+            benchmark=self.benchmark,
+            seed=self.seed,
+        )
+        return campaign.run()
+
+    # -- stage 4 ------------------------------------------------------------------
+
+    def train(
+        self, dataset: PerformanceDataset, key_parameters: Sequence[str]
+    ) -> SurrogateModel:
+        """§3.6: fit the Bayesian-regularized DNN ensemble."""
+        self.progress("training surrogate model")
+        surrogate = SurrogateModel(
+            self.datastore.space,
+            key_parameters,
+            ensemble_config=self.ensemble_config,
+        )
+        surrogate.fit(dataset, seed=self.seed)
+        return surrogate
+
+    # -- all together ----------------------------------------------------------------
+
+    def run(
+        self,
+        trace: Optional[Trace] = None,
+        key_parameters: Optional[Sequence[str]] = None,
+        dataset: Optional[PerformanceDataset] = None,
+    ) -> tuple:
+        """Run the offline pipeline; returns ``(rafiki, report)``.
+
+        Stages can be skipped by supplying their outputs (a pre-computed
+        key-parameter list or dataset), which the experiment harnesses
+        use to share the expensive collection step.
+        """
+        characterization = self.characterize(trace) if trace is not None else None
+
+        ranking: Optional[AnovaRanking] = None
+        if key_parameters is None:
+            ranking, key_parameters = self.identify_key_parameters()
+        key_parameters = list(key_parameters)
+        if not key_parameters:
+            raise TrainingError("no key parameters identified")
+
+        if dataset is None:
+            dataset = self.collect(key_parameters)
+        surrogate = self.train(dataset, key_parameters)
+
+        rafiki = Rafiki(
+            self.datastore,
+            surrogate,
+            key_parameters,
+            seed=self.seed,
+        )
+        report = PipelineReport(
+            characterization=characterization,
+            ranking=ranking,
+            key_parameters=key_parameters,
+            dataset=dataset,
+            surrogate=surrogate,
+        )
+        return rafiki, report

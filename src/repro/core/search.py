@@ -1,0 +1,263 @@
+"""Configuration search strategies (paper §3.7 and baselines).
+
+* :class:`ConfigurationOptimizer` — Rafiki's GA over the surrogate
+  (Equation 4): thousands of ~45 us surrogate queries instead of
+  7-minute benchmark samples.
+* :class:`ExhaustiveSearch` — the grid search the paper uses as the
+  theoretical upper bound (80 configurations per workload in §4.8),
+  measured on the *real* (simulated) server.
+* :class:`GreedySearch` — one-parameter-at-a-time sweeping, the "obvious
+  technique" §4.6 shows is suboptimal because it ignores parameter
+  interdependencies.
+* :class:`RandomSearch` — same budget as the GA, no structure; an
+  ablation baseline.
+
+All searches report a cost ledger so the §4.8 claim (GA+surrogate uses
+~1/10,000 of exhaustive search's benchmarking time) can be recomputed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config.space import Configuration
+from repro.core.surrogate import SurrogateModel
+from repro.datastore.base import Datastore
+from repro.errors import SearchError
+from repro.ga.algorithm import GAResult, GeneticAlgorithm
+from repro.ga.encoding import ConfigurationEncoder
+from repro.sim.rng import SeedLike, SeedSequence, derive_rng
+from repro.workload.spec import WorkloadSpec
+
+#: Wall-clock cost of one real benchmark sample: ~2 min of loading plus
+#: 5 min of stable metric collection (paper §4.8).
+SAMPLE_WALL_SECONDS = (2 + 5) * 60.0
+#: The paper's measured surrogate latency: ~45 us per evaluation (§4.8).
+SURROGATE_QUERY_SECONDS = 45e-6
+
+
+@dataclass
+class OptimizationResult:
+    """A chosen configuration plus the cost of finding it."""
+
+    configuration: Configuration
+    predicted_throughput: float
+    evaluations: int                  # surrogate queries or benchmark runs
+    equivalent_wall_seconds: float    # what the search "cost"
+    strategy: str
+    history: List[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizationResult({self.strategy}, "
+            f"pred={self.predicted_throughput:,.0f} ops/s, "
+            f"{self.evaluations} evals)"
+        )
+
+
+class ConfigurationOptimizer:
+    """Rafiki's online search: GA over the trained surrogate."""
+
+    def __init__(
+        self,
+        surrogate: SurrogateModel,
+        parameters: Optional[Sequence[str]] = None,
+        population_size: int = 48,
+        generations: int = 70,
+        seed_default: bool = True,
+        uncertainty_penalty: float = 0.0,
+    ):
+        """``seed_default`` keeps the vendor default as a candidate
+        floor: after the GA finishes, the default wins if the surrogate
+        scores it higher than anything evolution found.  (Injecting it
+        into the population instead collapses diversity around it.)
+
+        ``uncertainty_penalty`` (an extension beyond the paper) subtracts
+        ``k x ensemble-spread`` from the fitness, discouraging the GA
+        from chasing over-predictions in sparsely sampled corners.
+        """
+        self.surrogate = surrogate
+        names = tuple(parameters or surrogate.feature_parameters)
+        if names != surrogate.feature_parameters:
+            raise SearchError(
+                "optimizer parameters must match the surrogate's features"
+            )
+        self.encoder = ConfigurationEncoder(surrogate.space, names)
+        self.population_size = population_size
+        self.generations = generations
+        self.seed_default = seed_default
+        self.uncertainty_penalty = uncertainty_penalty
+
+    def optimize(
+        self,
+        read_ratio: float,
+        seed: SeedLike = 0,
+        seed_configs: Optional[Sequence[Configuration]] = None,
+    ) -> OptimizationResult:
+        """Equation 3 via Equation 4: argmax_C fnet(W, C)."""
+        if not (0.0 <= read_ratio <= 1.0):
+            raise SearchError("read_ratio must be in [0, 1]")
+
+        def fitness(genes: np.ndarray) -> float:
+            row = self.encoder.features(genes, read_ratio)[None, :]
+            mean = float(self.surrogate.predict_features(row)[0])
+            if self.uncertainty_penalty > 0.0:
+                spread = float(self.surrogate.ensemble.predict_std(row)[0])
+                return mean - self.uncertainty_penalty * spread
+            return mean
+
+        ga = GeneticAlgorithm(
+            encoder=self.encoder,
+            fitness_fn=fitness,
+            population_size=self.population_size,
+            generations=self.generations,
+        )
+        initial = (
+            [self.encoder.encode(c) for c in seed_configs] if seed_configs else None
+        )
+        result: GAResult = ga.run(seed=seed, initial=initial)
+        best_config = result.best_configuration
+        best_fitness = result.best_fitness
+        evaluations = result.evaluations
+        if self.seed_default:
+            default = self.surrogate.space.default_configuration()
+            default_fitness = fitness(self.encoder.encode(default))
+            evaluations += 1
+            if default_fitness > best_fitness:
+                best_config, best_fitness = default, default_fitness
+        return OptimizationResult(
+            configuration=best_config,
+            predicted_throughput=best_fitness,
+            evaluations=evaluations,
+            equivalent_wall_seconds=evaluations * SURROGATE_QUERY_SECONDS,
+            strategy="rafiki-ga",
+            history=result.history,
+        )
+
+
+class ExhaustiveSearch:
+    """Grid search with real benchmarks: the theoretical best (§4.8)."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        parameters: Sequence[str],
+        resolution: int = 3,
+        benchmark: Optional[YCSBBenchmark] = None,
+        max_configs: Optional[int] = 80,
+    ):
+        if resolution < 2:
+            raise SearchError("grid resolution must be >= 2")
+        self.datastore = datastore
+        self.parameters = tuple(parameters)
+        self.resolution = resolution
+        self.benchmark = benchmark or YCSBBenchmark(datastore)
+        self.max_configs = max_configs
+
+    def grid_configurations(self) -> List[Configuration]:
+        configs = list(self.datastore.space.grid(self.parameters, self.resolution))
+        if self.max_configs is not None and len(configs) > self.max_configs:
+            # Deterministic thinning: keep an evenly spaced subset, as
+            # the paper's "80 configuration sets per workload".
+            idx = np.linspace(0, len(configs) - 1, self.max_configs).astype(int)
+            configs = [configs[i] for i in np.unique(idx)]
+        return configs
+
+    def optimize(self, workload: WorkloadSpec, seed: int = 0) -> OptimizationResult:
+        """Benchmark every grid point; return the measured best."""
+        seeds = SeedSequence(seed)
+        best_config, best_tp = None, -np.inf
+        history: List[float] = []
+        configs = self.grid_configurations()
+        for i, config in enumerate(configs):
+            tp = self.benchmark.run(config, workload, seed=seeds.stream(f"grid{i}")).mean_throughput
+            history.append(max(best_tp, tp))
+            if tp > best_tp:
+                best_config, best_tp = config, tp
+        return OptimizationResult(
+            configuration=best_config,
+            predicted_throughput=best_tp,
+            evaluations=len(configs),
+            equivalent_wall_seconds=len(configs) * SAMPLE_WALL_SECONDS,
+            strategy="exhaustive-grid",
+            history=history,
+        )
+
+
+class GreedySearch:
+    """One-parameter-at-a-time sweep on the surrogate.
+
+    Tunes each parameter to its locally best value while holding the
+    others fixed, in ranking order, a single pass — the strategy §4.6
+    argues cannot find interdependent optima (Figure 6).
+    """
+
+    def __init__(
+        self,
+        surrogate: SurrogateModel,
+        resolution: int = 8,
+    ):
+        self.surrogate = surrogate
+        self.resolution = resolution
+
+    def optimize(self, read_ratio: float) -> OptimizationResult:
+        space = self.surrogate.space
+        current = space.default_configuration()
+        evaluations = 0
+        history: List[float] = []
+        for name in self.surrogate.feature_parameters:
+            best_value, best_tp = current[name], -np.inf
+            for value in space[name].grid(self.resolution):
+                candidate = current.with_updates(**{name: value})
+                tp = self.surrogate.predict(read_ratio, candidate)
+                evaluations += 1
+                if tp > best_tp:
+                    best_value, best_tp = value, tp
+            current = current.with_updates(**{name: best_value})
+            history.append(best_tp)
+        final_tp = self.surrogate.predict(read_ratio, current)
+        evaluations += 1
+        return OptimizationResult(
+            configuration=current,
+            predicted_throughput=float(final_tp),
+            evaluations=evaluations,
+            equivalent_wall_seconds=evaluations * SURROGATE_QUERY_SECONDS,
+            strategy="greedy-ofat",
+            history=history,
+        )
+
+
+class RandomSearch:
+    """Uniform random probing of the surrogate at a fixed budget."""
+
+    def __init__(self, surrogate: SurrogateModel, budget: int = 3400):
+        if budget < 1:
+            raise SearchError("budget must be positive")
+        self.surrogate = surrogate
+        self.budget = budget
+
+    def optimize(self, read_ratio: float, seed: SeedLike = 0) -> OptimizationResult:
+        rng = derive_rng(seed)
+        space = self.surrogate.space
+        names = self.surrogate.feature_parameters
+        best_config, best_tp = None, -np.inf
+        history: List[float] = []
+        for _ in range(self.budget):
+            config = space.sample_configuration(rng, names)
+            tp = self.surrogate.predict(read_ratio, config)
+            if tp > best_tp:
+                best_config, best_tp = config, tp
+            history.append(best_tp)
+        return OptimizationResult(
+            configuration=best_config,
+            predicted_throughput=float(best_tp),
+            evaluations=self.budget,
+            equivalent_wall_seconds=self.budget * SURROGATE_QUERY_SECONDS,
+            strategy="random-search",
+            history=history,
+        )

@@ -1,0 +1,105 @@
+"""Datastore abstraction over the LSM substrate.
+
+A datastore owns a configuration space and knows how to turn a
+configuration into engine knobs (possibly overriding some — ScyllaDB's
+auto-tuner does) and how to mint fresh server instances.  Fresh-instance
+creation is the analogue of the paper's per-sample Docker reset (§4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.config.space import Configuration, ConfigurationSpace
+from repro.errors import ConfigurationError
+from repro.lsm.analytic import AnalyticLSMModel, WorkloadProfile
+from repro.lsm.engine import LSMEngine
+from repro.lsm.knobs import EngineKnobs
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostConstants, DEFAULT_COSTS
+from repro.sim.hardware import DEFAULT_SERVER, HardwareSpec
+from repro.sim.rng import SeedLike
+
+
+class Datastore:
+    """Base simulated NoSQL datastore."""
+
+    #: Human-readable engine name, e.g. "cassandra".
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        hardware: HardwareSpec = DEFAULT_SERVER,
+        costs: CostConstants = DEFAULT_COSTS,
+    ):
+        self.hardware = hardware
+        self.costs = costs
+        self.space = self._build_space()
+
+    # -- subclass hooks ------------------------------------------------------
+
+    def _build_space(self) -> ConfigurationSpace:
+        raise NotImplementedError
+
+    @property
+    def key_parameters(self) -> Tuple[str, ...]:
+        """The vendor's paper-identified key parameters (§3.4.1)."""
+        raise NotImplementedError
+
+    def effective_knobs(self, config: Configuration) -> EngineKnobs:
+        """Resolve a configuration into the knobs the engine really runs.
+
+        Cassandra honours the file; ScyllaDB overrides auto-tuned values.
+        """
+        return EngineKnobs.from_configuration(config)
+
+    # -- instance factories ---------------------------------------------------
+
+    def default_configuration(self) -> Configuration:
+        """The vendor-shipped configuration file."""
+        return self.space.default_configuration()
+
+    def validate_configuration(self, config: Configuration) -> None:
+        """Reject configurations built for a different parameter space."""
+        if config.space is not self.space:
+            # Accept configurations from an identically named space
+            # (e.g. deserialized), but insist on matching parameters.
+            if set(config.space.names) != set(self.space.names):
+                raise ConfigurationError(
+                    "configuration does not belong to this datastore's space"
+                )
+
+    def new_analytic_instance(
+        self,
+        config: Configuration,
+        profile: Optional[WorkloadProfile] = None,
+        seed: SeedLike = 0,
+        noise_sigma: float = 0.015,
+    ) -> AnalyticLSMModel:
+        """Fresh batched-model server (the fast benchmark path)."""
+        self.validate_configuration(config)
+        return AnalyticLSMModel(
+            knobs=self.effective_knobs(config),
+            hardware=self.hardware,
+            costs=self.costs,
+            profile=profile,
+            seed=seed,
+            noise_sigma=noise_sigma,
+        )
+
+    def new_engine_instance(
+        self,
+        config: Configuration,
+        clock: Optional[SimClock] = None,
+    ) -> LSMEngine:
+        """Fresh materialized engine (the per-operation path)."""
+        self.validate_configuration(config)
+        return LSMEngine(
+            knobs=self.effective_knobs(config),
+            hardware=self.hardware,
+            clock=clock,
+            costs=self.costs,
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.hardware.name})"

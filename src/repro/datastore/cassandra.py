@@ -1,0 +1,27 @@
+"""Cassandra-like datastore: configuration taken at face value."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config.cassandra import CASSANDRA_KEY_PARAMETERS, cassandra_space
+from repro.config.space import ConfigurationSpace
+from repro.datastore.base import Datastore
+
+
+class CassandraLike(Datastore):
+    """Apache Cassandra 3.7 stand-in.
+
+    Honours every value in its configuration — which is exactly why its
+    default file (tuned for write-leaning web workloads) underperforms so
+    badly on MG-RAST's read-heavy phases (paper §4.4).
+    """
+
+    name = "cassandra"
+
+    def _build_space(self) -> ConfigurationSpace:
+        return cassandra_space()
+
+    @property
+    def key_parameters(self) -> Tuple[str, ...]:
+        return CASSANDRA_KEY_PARAMETERS

@@ -1,0 +1,155 @@
+"""Multi-node peer-to-peer cluster (paper §4.9, Table 3).
+
+Nodes are independent simulated servers joined in a Cassandra-style
+ring.  Each logical write is applied to ``replication_factor`` replicas;
+each logical read is served by one replica (consistency level ONE, the
+throughput-oriented choice).  Client capacity is bounded by the number
+of YCSB "shooters" — the paper adds a shooter per server to keep the
+cluster loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.config.space import Configuration
+from repro.datastore.base import Datastore
+from repro.errors import DatastoreError
+from repro.lsm.analytic import AnalyticLSMModel, StepResult, WorkloadProfile
+from repro.sim.rng import SeedLike, SeedSequence, derive_rng
+
+#: Operations/second one benchmark client ("shooter") can generate.
+SHOOTER_CAPACITY_OPS = 130_000.0
+
+#: Read consistency levels: how many replicas serve each logical read.
+CONSISTENCY_LEVELS = ("ONE", "QUORUM", "ALL")
+
+
+@dataclass
+class ClusterStepResult:
+    """Aggregate outcome of one cluster time step."""
+
+    t: float
+    throughput: float          # logical ops/s across the cluster
+    per_node_throughput: List[float]
+
+
+class Cluster:
+    """A ring of identically configured simulated datastore nodes."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        config: Configuration,
+        n_nodes: int,
+        replication_factor: int = 1,
+        n_shooters: int = 1,
+        consistency_level: str = "ONE",
+        profile: Optional[WorkloadProfile] = None,
+        seed: SeedLike = 0,
+    ):
+        if n_nodes <= 0:
+            raise DatastoreError("cluster needs at least one node")
+        if not (1 <= replication_factor <= n_nodes):
+            raise DatastoreError(
+                f"replication factor {replication_factor} must be in [1, {n_nodes}]"
+            )
+        if n_shooters <= 0:
+            raise DatastoreError("need at least one shooter")
+        if consistency_level not in CONSISTENCY_LEVELS:
+            raise DatastoreError(
+                f"consistency level {consistency_level!r} not in {CONSISTENCY_LEVELS}"
+            )
+        self.datastore = datastore
+        self.config = config
+        self.n_nodes = n_nodes
+        self.replication_factor = replication_factor
+        self.n_shooters = n_shooters
+        self.consistency_level = consistency_level
+        root = seed if isinstance(seed, int) else int(derive_rng(seed).integers(2**31))
+        seeds = SeedSequence(root)
+        self.nodes: List[AnalyticLSMModel] = [
+            datastore.new_analytic_instance(
+                config, profile=profile, seed=seeds.stream(f"node{i}")
+            )
+            for i in range(n_nodes)
+        ]
+        self.t = 0.0
+
+    # -- replication math -----------------------------------------------------------
+
+    @property
+    def read_fanout(self) -> int:
+        """Replica reads per logical read, set by the consistency level.
+
+        The paper's throughput-oriented setup reads at ONE; QUORUM and
+        ALL trade throughput for stronger consistency (§2.1's CAP
+        discussion — metagenomics tolerates stale reads, so ONE is the
+        domain-appropriate choice).
+        """
+        if self.consistency_level == "ONE":
+            return 1
+        if self.consistency_level == "QUORUM":
+            return self.replication_factor // 2 + 1
+        return self.replication_factor
+
+    def _node_read_share(self, read_ratio: float) -> float:
+        """Read share of the per-node op mix after fan-out."""
+        r, w = read_ratio, 1.0 - read_ratio
+        reads = r * self.read_fanout
+        return reads / (reads + w * self.replication_factor)
+
+    def _fanout(self, read_ratio: float) -> float:
+        """Node-ops per logical op."""
+        r, w = read_ratio, 1.0 - read_ratio
+        return r * self.read_fanout + w * self.replication_factor
+
+    def sustainable_throughput(self, read_ratio: float) -> float:
+        """Logical ops/s the cluster sustains at this instant."""
+        node_rr = self._node_read_share(read_ratio)
+        fanout = self._fanout(read_ratio)
+        per_node = min(n.sustainable_throughput(node_rr) for n in self.nodes)
+        server_cap = per_node * self.n_nodes / fanout
+        client_cap = self.n_shooters * SHOOTER_CAPACITY_OPS
+        return min(server_cap, client_cap)
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self, read_ratio: float, dt: float = 1.0) -> ClusterStepResult:
+        """Advance the whole cluster ``dt`` seconds."""
+        x = self.sustainable_throughput(read_ratio)
+        node_rr = self._node_read_share(read_ratio)
+        node_ops = x * self._fanout(read_ratio) / self.n_nodes
+        per_node = []
+        for node in self.nodes:
+            node.apply_external_load(
+                reads=node_ops * node_rr * dt,
+                writes=node_ops * (1.0 - node_rr) * dt,
+                dt=dt,
+            )
+            per_node.append(node_ops)
+        self.t += dt
+        return ClusterStepResult(t=self.t, throughput=x, per_node_throughput=per_node)
+
+    def run(self, read_ratio: float, duration: float, dt: float = 1.0):
+        """Step the cluster for ``duration`` seconds; per-step results."""
+        steps = max(1, int(round(duration / dt)))
+        return [self.step(read_ratio, dt) for _ in range(steps)]
+
+    def load(self, n_keys: int) -> None:
+        """Load phase: each node stores its replicated share of keys."""
+        per_node_keys = int(n_keys * self.replication_factor / self.n_nodes)
+        for node in self.nodes:
+            node.load(per_node_keys)
+
+    def settle(self, max_seconds: float = 600.0) -> None:
+        """Drain every node's background work (between phases)."""
+        for node in self.nodes:
+            node.settle(max_seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cluster({self.datastore.name} x{self.n_nodes}, "
+            f"RF={self.replication_factor}, shooters={self.n_shooters})"
+        )

@@ -1,0 +1,216 @@
+"""Consistent-hash ring and a data-path replicated cluster.
+
+:class:`Cluster` (cluster.py) models multi-node *throughput*; this
+module carries actual *data*: a Cassandra-style consistent-hashing ring
+places each key's replicas, and :class:`EngineCluster` runs one
+materialized LSM engine per node with last-write-wins resolution,
+tunable consistency levels, read repair, and node failures — the
+distributed semantics the paper's substrate (§2.1's AP-over-C choice)
+relies on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config.space import Configuration
+from repro.datastore.base import Datastore
+from repro.datastore.cluster import CONSISTENCY_LEVELS
+from repro.errors import DatastoreError
+from repro.lsm.engine import LSMEngine
+from repro.lsm.record import Record
+
+
+def _stable_hash(text: str) -> int:
+    """64-bit stable hash (md5-based; process-salt-free)."""
+    return int.from_bytes(hashlib.md5(text.encode("utf-8")).digest()[:8], "little")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each physical node owns ``vnodes`` points on a 64-bit ring; a key's
+    replicas are the owners of the next ``n`` distinct nodes clockwise
+    from the key's hash — adding or removing a node only moves the keys
+    adjacent to its points.
+    """
+
+    def __init__(self, node_ids: Sequence[str], vnodes: int = 64):
+        if not node_ids:
+            raise DatastoreError("ring needs at least one node")
+        if len(set(node_ids)) != len(node_ids):
+            raise DatastoreError("duplicate node ids")
+        if vnodes < 1:
+            raise DatastoreError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return sorted({node for _, node in self._points})
+
+    def add_node(self, node_id: str) -> None:
+        """Insert a node's virtual points into the ring."""
+        for v in range(self.vnodes):
+            point = _stable_hash(f"{node_id}#{v}")
+            bisect.insort(self._points, (point, node_id))
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node's points (its keys re-home to neighbours)."""
+        before = len(self._points)
+        self._points = [(p, n) for p, n in self._points if n != node_id]
+        if len(self._points) == before:
+            raise DatastoreError(f"unknown node {node_id!r}")
+        if not self._points:
+            raise DatastoreError("cannot remove the last node")
+
+    def replicas_for(self, key: str, n: int) -> List[str]:
+        """The ``n`` distinct nodes owning ``key``, preference order."""
+        nodes = self.node_ids
+        if n > len(nodes):
+            raise DatastoreError(f"need {n} replicas but ring has {len(nodes)} nodes")
+        start = bisect.bisect_right(self._points, (_stable_hash(key), "￿"))
+        replicas: List[str] = []
+        i = start
+        while len(replicas) < n:
+            _, node = self._points[i % len(self._points)]
+            if node not in replicas:
+                replicas.append(node)
+            i += 1
+        return replicas
+
+
+class EngineCluster:
+    """Replicated key-value store over materialized LSM engines.
+
+    Implements the Cassandra data path: writes go to every *live*
+    replica (acked once ``write_quorum`` respond), reads consult
+    ``read_quorum`` live replicas and resolve by newest timestamp
+    (last-write-wins), optionally writing the winner back to stale
+    replicas (read repair).  With ``R + W > RF`` and no permanent
+    failures, reads observe the latest acknowledged write.
+    """
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        config: Configuration,
+        n_nodes: int,
+        replication_factor: int = 3,
+        consistency_level: str = "QUORUM",
+        read_repair: bool = True,
+        vnodes: int = 64,
+    ):
+        if n_nodes < 1:
+            raise DatastoreError("need at least one node")
+        if not (1 <= replication_factor <= n_nodes):
+            raise DatastoreError("replication factor must be within node count")
+        if consistency_level not in CONSISTENCY_LEVELS:
+            raise DatastoreError(f"unknown consistency level {consistency_level!r}")
+        self.datastore = datastore
+        self.replication_factor = replication_factor
+        self.consistency_level = consistency_level
+        self.read_repair = read_repair
+        self.nodes: Dict[str, LSMEngine] = {
+            f"node{i}": datastore.new_engine_instance(config) for i in range(n_nodes)
+        }
+        self.ring = HashRing(list(self.nodes), vnodes=vnodes)
+        self._down: set = set()
+        self._timestamp = 0.0
+
+    # -- membership -------------------------------------------------------------
+
+    def fail_node(self, node_id: str) -> None:
+        """Mark a node down (it keeps its data; writes skip it)."""
+        if node_id not in self.nodes:
+            raise DatastoreError(f"unknown node {node_id!r}")
+        self._down.add(node_id)
+        if len(self._down) == len(self.nodes):
+            self._down.discard(node_id)
+            raise DatastoreError("cannot fail the last live node")
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a failed node back; read repair re-syncs it lazily."""
+        self._down.discard(node_id)
+
+    @property
+    def live_nodes(self) -> List[str]:
+        return [n for n in self.nodes if n not in self._down]
+
+    def _quorum(self) -> int:
+        if self.consistency_level == "ONE":
+            return 1
+        if self.consistency_level == "QUORUM":
+            return self.replication_factor // 2 + 1
+        return self.replication_factor
+
+    def _next_timestamp(self) -> float:
+        self._timestamp += 1.0
+        return self._timestamp
+
+    def _live_replicas(self, key: str) -> List[str]:
+        replicas = self.ring.replicas_for(key, self.replication_factor)
+        return [r for r in replicas if r not in self._down]
+
+    # -- data path --------------------------------------------------------------
+
+    def put(self, key: str, value: bytes) -> None:
+        """Write to all live replicas; fail if the quorum is unreachable."""
+        self._mutate(key, value, delete=False)
+
+    def delete(self, key: str) -> None:
+        """Tombstone ``key`` on all live replicas."""
+        self._mutate(key, None, delete=True)
+
+    def _mutate(self, key: str, value: Optional[bytes], delete: bool) -> None:
+        live = self._live_replicas(key)
+        if len(live) < self._quorum():
+            raise DatastoreError(
+                f"cannot reach {self.consistency_level} "
+                f"({len(live)}/{self._quorum()} replicas live for {key!r})"
+            )
+        ts = self._next_timestamp()
+        for node_id in live:
+            if delete:
+                self.nodes[node_id].delete(key, timestamp=ts)
+            else:
+                self.nodes[node_id].put(key, value, timestamp=ts)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Read from a consistency-level quorum, newest timestamp wins."""
+        live = self._live_replicas(key)
+        quorum = self._quorum()
+        if len(live) < quorum:
+            raise DatastoreError(
+                f"cannot reach {self.consistency_level} for read of {key!r}"
+            )
+        consulted = live[:quorum]
+        responses: List[Tuple[str, Optional[Record]]] = [
+            (node_id, self.nodes[node_id].get_record(key)) for node_id in consulted
+        ]
+        winner: Optional[Record] = None
+        for _, rec in responses:
+            if rec is not None and (winner is None or rec.supersedes(winner)):
+                winner = rec
+        if winner is not None and self.read_repair:
+            for node_id, rec in responses:
+                if rec is None or winner.supersedes(rec) and rec.timestamp < winner.timestamp:
+                    if winner.is_tombstone:
+                        self.nodes[node_id].delete(key, timestamp=winner.timestamp)
+                    else:
+                        self.nodes[node_id].put(
+                            key, winner.value, timestamp=winner.timestamp
+                        )
+        if winner is None or winner.is_tombstone:
+            return None
+        return winner.value
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineCluster({len(self.nodes)} nodes, RF={self.replication_factor}, "
+            f"CL={self.consistency_level}, down={sorted(self._down)})"
+        )

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter name, value, or configuration was supplied."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification or trace is malformed."""
+
+
+class DatastoreError(ReproError):
+    """The datastore was driven into an invalid state or misused."""
+
+
+class KeyNotFound(DatastoreError):
+    """A read targeted a key that does not exist (or was deleted)."""
+
+    def __init__(self, key: str):
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class TrainingError(ReproError):
+    """Model training could not proceed (bad shapes, empty data, ...)."""
+
+
+class SearchError(ReproError):
+    """Configuration search was invoked with an unusable setup."""

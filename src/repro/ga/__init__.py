@@ -1,0 +1,29 @@
+"""Real-coded genetic algorithm for configuration search (paper §3.7.2).
+
+The GA explores raw parameter space with the paper's operators: a
+uniformly random initial population within bounds, random-weighted
+average crossover (interpolation, never extrapolation), and a Deb-style
+penalty that scores infeasible points (non-integer values for integer
+parameters, out-of-bounds values) below feasible ones so evolution is
+pulled back into the feasible region.
+"""
+
+from repro.ga.encoding import ConfigurationEncoder
+from repro.ga.operators import (
+    gaussian_mutation,
+    tournament_select,
+    weighted_average_crossover,
+)
+from repro.ga.constraints import feasibility_violation, penalized_fitness
+from repro.ga.algorithm import GAResult, GeneticAlgorithm
+
+__all__ = [
+    "ConfigurationEncoder",
+    "weighted_average_crossover",
+    "gaussian_mutation",
+    "tournament_select",
+    "feasibility_violation",
+    "penalized_fitness",
+    "GAResult",
+    "GeneticAlgorithm",
+]

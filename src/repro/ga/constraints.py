@@ -1,0 +1,38 @@
+"""Constraint handling: Deb-style penalties.
+
+"The fitness function is modified to ensure constraints are met, as
+described in [Deb 2000; Deep et al. 2009], where infeasible
+configuration files are scored with a penalty, and feasible ones are
+scored as the original fitness function" (paper §3.7.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ga.encoding import ConfigurationEncoder
+
+
+def feasibility_violation(encoder: ConfigurationEncoder, genes: np.ndarray) -> float:
+    """Total constraint violation (0 = feasible)."""
+    return encoder.violation(genes)
+
+
+def penalized_fitness(
+    raw_fitness: float,
+    violation: float,
+    penalty_scale: float,
+) -> float:
+    """Apply the infeasibility penalty to a raw (maximization) fitness.
+
+    Feasible points pass through unchanged.  Infeasible points are
+    penalized proportionally to their violation, with the scale chosen
+    large enough (a multiple of the fitness magnitude) that a feasible
+    point always eventually dominates, while *near*-feasible good points
+    still outrank feasible bad ones early in the run — this is what lets
+    arithmetic crossover roam between integer lattice points and still
+    converge onto them.
+    """
+    if violation <= 0.0:
+        return raw_fitness
+    return raw_fitness - penalty_scale * violation

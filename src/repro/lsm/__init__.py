@@ -1,0 +1,46 @@
+"""LSM-tree storage substrate.
+
+A real, working log-structured merge-tree key-value store — memtable,
+commit log, bloom-filtered SSTables, size-tiered and leveled compaction —
+that doubles as the performance simulator: every operation charges
+simulated time through the cost models in :mod:`repro.sim`.
+
+Two execution granularities share one cost model:
+
+* :class:`~repro.lsm.engine.LSMEngine` — fully materialized store with a
+  per-operation API (used for correctness tests and small workloads).
+* :class:`~repro.lsm.analytic.AnalyticLSMModel` — evolves the same
+  aggregate state (memtable fill, table layout, compaction backlog,
+  cache) in time steps, fast enough for the paper's 220-point data
+  collection and exhaustive-search baselines.
+"""
+
+from repro.lsm.record import Record
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.memtable import Memtable
+from repro.lsm.commitlog import CommitLog
+from repro.lsm.sstable import SSTable
+from repro.lsm.compaction import (
+    CompactionTask,
+    SizeTieredStrategy,
+    LeveledStrategy,
+    make_strategy,
+)
+from repro.lsm.knobs import EngineKnobs
+from repro.lsm.engine import LSMEngine
+from repro.lsm.analytic import AnalyticLSMModel
+
+__all__ = [
+    "Record",
+    "BloomFilter",
+    "Memtable",
+    "CommitLog",
+    "SSTable",
+    "CompactionTask",
+    "SizeTieredStrategy",
+    "LeveledStrategy",
+    "make_strategy",
+    "EngineKnobs",
+    "LSMEngine",
+    "AnalyticLSMModel",
+]

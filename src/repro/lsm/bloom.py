@@ -1,0 +1,83 @@
+"""Bloom filter for SSTable membership tests.
+
+Cassandra attaches a bloom filter to every SSTable so reads can skip
+tables that definitely do not hold a key; the ``bloom_filter_fp_chance``
+parameter trades memory for wasted probes.  This is a standard k-hash
+bit-array implementation sized from the target false-positive rate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+# A simple 64-bit FNV-1a; two independent hashes are derived per key and
+# combined (Kirsch-Mitzenmacher) into k hash functions.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def _fnv1a(data: bytes, seed: int = 0) -> int:
+    h = (_FNV_OFFSET ^ seed) & _MASK64
+    for b in data:
+        h ^= b
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+class BloomFilter:
+    """Bit-array bloom filter with configurable false-positive chance."""
+
+    __slots__ = ("n_bits", "n_hashes", "_bits", "n_items")
+
+    def __init__(self, expected_items: int, fp_chance: float):
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if not (0.0 < fp_chance < 1.0):
+            raise ValueError("fp_chance must be in (0, 1)")
+        # Optimal sizing: m = -n ln(p) / (ln 2)^2, k = m/n ln(2).
+        m = int(math.ceil(-expected_items * math.log(fp_chance) / (math.log(2) ** 2)))
+        self.n_bits = max(m, 8)
+        self.n_hashes = max(1, int(round((self.n_bits / expected_items) * math.log(2))))
+        self._bits = bytearray((self.n_bits + 7) // 8)
+        self.n_items = 0
+
+    @classmethod
+    def from_keys(cls, keys: Iterable[str], fp_chance: float) -> "BloomFilter":
+        keys = list(keys)
+        bf = cls(expected_items=max(len(keys), 1), fp_chance=fp_chance)
+        for k in keys:
+            bf.add(k)
+        return bf
+
+    def _positions(self, key: str):
+        data = key.encode("utf-8")
+        h1 = _fnv1a(data, seed=0x9E3779B9)
+        h2 = _fnv1a(data, seed=0x85EBCA6B) | 1
+        for i in range(self.n_hashes):
+            yield ((h1 + i * h2) & _MASK64) % self.n_bits
+
+    def add(self, key: str) -> None:
+        for pos in self._positions(key):
+            self._bits[pos >> 3] |= 1 << (pos & 7)
+        self.n_items += 1
+
+    def might_contain(self, key: str) -> bool:
+        """True if the key *may* be present (false positives possible)."""
+        return all(self._bits[p >> 3] & (1 << (p & 7)) for p in self._positions(key))
+
+    def __contains__(self, key: str) -> bool:
+        return self.might_contain(key)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    @property
+    def expected_fp_rate(self) -> float:
+        """Theoretical false-positive rate at the current fill."""
+        if self.n_items == 0:
+            return 0.0
+        fill = 1.0 - math.exp(-self.n_hashes * self.n_items / self.n_bits)
+        return fill**self.n_hashes

@@ -1,0 +1,519 @@
+"""The materialized LSM engine.
+
+A fully functional key-value store — real records, real bloom filters, a
+real LRU file cache, real compaction merges — that charges every
+operation simulated time through :mod:`repro.sim.costs`.  Flushes and
+compactions run as *background work*: they are queued with byte sizes and
+drained as the clock advances, stealing disk bandwidth and CPU from
+foreground queries exactly as the paper describes (§2.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set
+from collections import deque
+
+from repro.config.cassandra import LEVELED
+from repro.errors import DatastoreError
+from repro.lsm.commitlog import CommitLog
+from repro.lsm.compaction import (
+    CompactionTask,
+    TableLayout,
+    make_strategy,
+)
+from repro.lsm.knobs import EngineKnobs
+from repro.lsm.memtable import Memtable
+from repro.lsm.record import Record
+from repro.lsm.sstable import SSTable, merge_records, split_into_tables
+from repro.sim.cache import LruFileCache
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuModel
+from repro.sim.disk import DiskModel
+from repro.sim.costs import (
+    CostConstants,
+    DEFAULT_COSTS,
+    commitlog_bytes_per_write,
+    read_cpu_seconds,
+    thread_contention,
+    write_cpu_seconds,
+)
+from repro.sim.hardware import DEFAULT_SERVER, HardwareSpec
+
+#: Streaming capacity of one compactor process (bounded by merge CPU and
+#: per-stream disk efficiency).
+COMPACTOR_STREAM_BYTES = 45 * 1024 * 1024
+#: Leveled compaction must keep up with flushes — it fires on every
+#: flush and escalates past the user throttle when L0 backs up (paper
+#: §2.2.2: it "requires more processing and disk I/O operations").
+LEVELED_MIN_COMPACTION_BYTES = 64 * 1024 * 1024
+#: Flush queue depth (in flush sizes) beyond which writes stall.
+FLUSH_STALL_DEPTH = 2.0
+
+
+@dataclass
+class EngineStats:
+    """Cumulative operation accounting."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+    memtable_hits: int = 0
+    bloom_checks: int = 0
+    bloom_true_positives: int = 0
+    tables_probed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    flushes: int = 0
+    compactions_started: int = 0
+    compactions_completed: int = 0
+    compaction_bytes: float = 0.0
+    write_stall_seconds: float = 0.0
+    busy_seconds: float = 0.0
+
+
+@dataclass
+class _PendingCompaction:
+    task: CompactionTask
+    remaining_bytes: float
+
+
+class LSMEngine:
+    """Log-structured merge engine over simulated hardware.
+
+    Parameters
+    ----------
+    knobs:
+        Resolved engine tuning values (from a datastore configuration).
+    hardware:
+        Simulated server; defaults to the paper's Dell R430.
+    clock:
+        Shared simulated clock (one per server).
+    costs:
+        Cost calibration; override in tests to probe sensitivities.
+    """
+
+    def __init__(
+        self,
+        knobs: EngineKnobs,
+        hardware: HardwareSpec = DEFAULT_SERVER,
+        clock: Optional[SimClock] = None,
+        costs: CostConstants = DEFAULT_COSTS,
+    ):
+        self.knobs = knobs
+        self.hardware = hardware
+        self.clock = clock if clock is not None else SimClock()
+        self.costs = costs
+        self.stats = EngineStats()
+        self.disk = DiskModel(hardware)
+        self.cpu = CpuModel(hardware)
+
+        self.memtable = Memtable(capacity_bytes=knobs.memtable_space_bytes)
+        self.commitlog = CommitLog(
+            segment_size_bytes=knobs.commitlog_segment_bytes,
+            sync_period_s=knobs.commitlog_sync_period_s,
+        )
+        self.layout = TableLayout()
+        self.cache = LruFileCache(capacity_bytes=knobs.file_cache_bytes)
+        self.strategy = make_strategy(knobs.compaction_method, knobs.sstable_target_bytes)
+
+        self._next_table_id = 0
+        self._next_task_id = 0
+        self._pending_compactions: Deque[_PendingCompaction] = deque()
+        self._busy_table_ids: Set[int] = set()
+        self._flush_queue_bytes = 0.0
+        self._write_seq = 0  # tie-break timestamps for same-instant writes
+
+    # ------------------------------------------------------------------ public API
+
+    def put(self, key: str, value: bytes, timestamp: Optional[float] = None) -> None:
+        """Durably write a whole-row upsert and charge its cost.
+
+        ``timestamp`` lets a cluster coordinator impose client
+        timestamps (Cassandra's last-write-wins resolution); by default
+        the engine stamps with its own monotonic clock.
+        """
+        ts = timestamp if timestamp is not None else self._next_timestamp()
+        self._write(Record(key=key, timestamp=ts, value=value))
+        self.stats.writes += 1
+
+    def delete(self, key: str, timestamp: Optional[float] = None) -> None:
+        """Write a tombstone for ``key``."""
+        ts = timestamp if timestamp is not None else self._next_timestamp()
+        self._write(Record.tombstone(key, ts))
+        self.stats.deletes += 1
+
+    def get_record(self, key: str) -> Optional[Record]:
+        """Like :meth:`get` but returns the winning record itself
+        (timestamp included, tombstones too) — replication resolution
+        needs the metadata, not just the value."""
+        return self._read_newest(key)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """Read the newest value for ``key``; None if absent or deleted."""
+        best = self._read_newest(key)
+        if best is None or best.is_tombstone:
+            return None
+        return best.value
+
+    def _read_newest(self, key: str) -> Optional[Record]:
+        """The read path: probe the memtable, then every bloom-positive
+        SSTable (Cassandra merges row fragments, so it cannot stop
+        early), charging bloom checks, index probes, cache traffic, and
+        disk misses."""
+        self.stats.reads += 1
+        cpu_blooms = 0
+        cpu_probes = 0
+        cpu_cache_hits = 0
+        disk_reads = 0
+
+        best: Optional[Record] = None
+        mem_rec = self.memtable.get(key)
+        if mem_rec is not None:
+            self.stats.memtable_hits += 1
+            best = mem_rec
+
+        for table in self.layout.read_candidates(key):
+            cpu_blooms += 1
+            self.stats.bloom_checks += 1
+            if not table.might_contain(key):
+                continue
+            cpu_probes += 1
+            self.stats.tables_probed += 1
+            block_key = (table.table_id, table.block_of(key))
+            if self.cache.access(block_key):
+                cpu_cache_hits += 1
+                self.stats.cache_hits += 1
+            else:
+                disk_reads += 1
+                self.stats.cache_misses += 1
+            rec = table.get(key)
+            if rec is None:
+                continue  # bloom false positive
+            self.stats.bloom_true_positives += 1
+            if best is None or rec.supersedes(best):
+                best = rec
+
+        cpu = read_cpu_seconds(cpu_blooms, cpu_probes, cpu_cache_hits, self.costs)
+        self._advance_for_op(
+            cpu_seconds=cpu,
+            seq_bytes=0.0,
+            random_reads=disk_reads,
+            hold_seconds=self.costs.read_thread_hold,
+            threads=self.knobs.concurrent_reads,
+        )
+        return best
+
+    def exists(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def multi_get(self, keys) -> Dict[str, Optional[bytes]]:
+        """Batch point lookups (each charged individually)."""
+        return {key: self.get(key) for key in keys}
+
+    def scan(self, start_key: str, end_key: str, limit: int = 0) -> List[tuple]:
+        """Range scan: ``[(key, value)]`` for start <= key <= end, sorted.
+
+        Merges the memtable with every overlapping SSTable (newest
+        version wins, tombstones excluded).  Charged as a streaming read
+        of the overlapping table bytes plus per-row merge CPU — range
+        reads are sequential I/O, unlike point lookups.
+        """
+        if start_key > end_key:
+            raise DatastoreError(f"invalid scan range [{start_key!r}, {end_key!r}]")
+        self.stats.reads += 1
+
+        newest: Dict[str, Record] = {}
+        for rec in self.memtable.scan(start_key, end_key):
+            newest[rec.key] = rec
+
+        seq_bytes = 0.0
+        rows_merged = len(newest)
+        for table in self.layout.all_tables():
+            if not table.overlaps_range(start_key, end_key):
+                continue
+            # A real engine seeks to start_key and streams; charge the
+            # overlapping fraction of the table's bytes.
+            seq_bytes += table.size_bytes * table.range_fraction(start_key, end_key)
+            for rec in table.records_in_range(start_key, end_key):
+                rows_merged += 1
+                cur = newest.get(rec.key)
+                if cur is None or rec.supersedes(cur):
+                    newest[rec.key] = rec
+
+        results = [
+            (key, rec.value)
+            for key, rec in sorted(newest.items())
+            if not rec.is_tombstone
+        ]
+        if limit > 0:
+            results = results[:limit]
+
+        cpu = self.costs.cpu_read_base + rows_merged * self.costs.cpu_probe * 0.1
+        self._advance_for_op(
+            cpu_seconds=cpu,
+            seq_bytes=seq_bytes,
+            random_reads=min(self.layout.table_count, 1),  # initial seeks
+            hold_seconds=self.costs.read_thread_hold,
+            threads=self.knobs.concurrent_reads,
+        )
+        return results
+
+    def flush(self) -> Optional[SSTable]:
+        """Force-flush the memtable (used on shutdown / phase boundaries)."""
+        return self._flush_memtable()
+
+    def reconfigure(self, knobs: EngineKnobs) -> None:
+        """Apply a new configuration online (Rafiki's actuation step).
+
+        Cache resizes in place; a compaction-strategy change installs a
+        new strategy whose proposals progressively rewrite the layout —
+        mirroring ``ALTER TABLE ... WITH compaction`` semantics.
+        """
+        old = self.knobs
+        self.knobs = knobs
+        if knobs.file_cache_bytes != old.file_cache_bytes:
+            self.cache.resize(knobs.file_cache_bytes)
+        if (
+            knobs.compaction_method != old.compaction_method
+            or knobs.sstable_target_bytes != old.sstable_target_bytes
+        ):
+            self.strategy = make_strategy(
+                knobs.compaction_method, knobs.sstable_target_bytes
+            )
+            self._propose_compactions()
+        if knobs.memtable_space_bytes != old.memtable_space_bytes:
+            self.memtable.capacity_bytes = knobs.memtable_space_bytes
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def sstable_count(self) -> int:
+        return self.layout.table_count
+
+    @property
+    def pending_compaction_bytes(self) -> float:
+        return sum(p.remaining_bytes for p in self._pending_compactions)
+
+    def idle_until_compact(self, max_seconds: float = 3600.0) -> float:
+        """Let background work drain (between benchmark phases)."""
+        start = self.clock.now
+        step = 0.25
+        while self._pending_compactions or self._flush_queue_bytes > 0:
+            if self.clock.now - start > max_seconds:
+                break
+            self.clock.advance(step)
+            self._drain_background(step)
+        return self.clock.now - start
+
+    # ------------------------------------------------------------------ write path
+
+    def _next_timestamp(self) -> float:
+        # Strictly increasing even when the clock stands still within a batch.
+        self._write_seq += 1
+        return self.clock.now + self._write_seq * 1e-12
+
+    def _write(self, record: Record) -> None:
+        sync_extra = self.commitlog.append(record, now=self.clock.now)
+        self.memtable.put(record)
+
+        stall = 0.0
+        if self.memtable.should_flush(self.knobs.memtable_cleanup_threshold):
+            flush_bytes = self.memtable.size_bytes
+            self._flush_memtable()
+            # If flush writers are behind, the write path stalls until the
+            # queue depth falls back under the limit.
+            flush_bw = self.knobs.memtable_flush_writers * self.costs.flush_writer_bandwidth
+            max_queue = FLUSH_STALL_DEPTH * max(flush_bytes, 1)
+            if self._flush_queue_bytes > max_queue:
+                stall = (self._flush_queue_bytes - max_queue) / flush_bw
+                self.stats.write_stall_seconds += stall
+
+        self._advance_for_op(
+            cpu_seconds=write_cpu_seconds(self.costs),
+            seq_bytes=commitlog_bytes_per_write(record.size_bytes, self.costs),
+            random_reads=0,
+            hold_seconds=self.costs.write_thread_hold,
+            threads=self.knobs.concurrent_writes,
+            extra_seconds=sync_extra + stall,
+        )
+
+    def _flush_memtable(self) -> Optional[SSTable]:
+        if len(self.memtable) == 0:
+            return None
+        records = list(self.memtable.drain())
+        table = SSTable(
+            table_id=self._issue_table_id(),
+            records=records,
+            fp_chance=self.knobs.bloom_fp_chance,
+            level=0,
+            created_at=self.clock.now,
+        )
+        self.layout.add_flushed(table)
+        self._flush_queue_bytes += table.size_bytes
+        self.commitlog.discard_flushed()
+        self.stats.flushes += 1
+        self._propose_compactions()
+        return table
+
+    def _issue_table_id(self) -> int:
+        self._next_table_id += 1
+        return self._next_table_id
+
+    def _issue_task_id(self) -> int:
+        self._next_task_id += 1
+        return self._next_task_id
+
+    # ------------------------------------------------------------------ timing
+
+    def _advance_for_op(
+        self,
+        cpu_seconds: float,
+        seq_bytes: float,
+        random_reads: int,
+        hold_seconds: float,
+        threads: int,
+        extra_seconds: float = 0.0,
+    ) -> None:
+        """Advance the clock by this op's bottleneck service interval.
+
+        The op's demands are divided by the capacity of each resource —
+        available cores (minus compaction CPU and contention), leftover
+        sequential bandwidth, leftover random IOPS, and the worker pool —
+        and the largest quotient is the time the system needed to push
+        this op through at full concurrency.
+        """
+        bg_cpu, bg_seq = self._background_utilization()
+        self.cpu.set_background_utilization(bg_cpu)
+        self.disk.set_background_utilization(bg_seq, 0.0)
+        # Faster clocks stretch the effective core count relative to the
+        # 3.0 GHz reference the cost constants are calibrated at.
+        cores = max(self.cpu.available_cores * (self.hardware.cpu_ghz / 3.0), 0.5)
+        contention = thread_contention(threads, cores, self.costs)
+
+        dt_cpu = cpu_seconds * contention / cores
+        dt_seq = self.disk.seq_write_seconds(seq_bytes) if seq_bytes else 0.0
+        dt_rand = self.disk.random_read_seconds(random_reads) if random_reads else 0.0
+        dt_pool = hold_seconds / threads
+
+        dt = max(dt_cpu, dt_seq, dt_rand, dt_pool) + extra_seconds
+        self.stats.busy_seconds += dt
+        self.clock.advance(dt)
+        self._drain_background(dt)
+
+    def _background_utilization(self) -> tuple:
+        """Current (cpu_util, seq_disk_util) stolen by flush + compaction."""
+        comp_rate = self._compaction_rate()
+        flush_rate = (
+            self.knobs.memtable_flush_writers * self.costs.flush_writer_bandwidth
+            if self._flush_queue_bytes > 0
+            else 0.0
+        )
+        seq_demand = comp_rate * self.costs.compaction_io_factor + flush_rate
+        seq_util = min(seq_demand / self.hardware.disk_seq_bandwidth, 0.9)
+        cpu_demand = comp_rate * self.costs.compaction_cpu_per_byte
+        cpu_util = min(cpu_demand / self.hardware.cpu_cores, 0.6)
+        return cpu_util, seq_util
+
+    def _compaction_rate(self) -> float:
+        """Input bytes/s compaction currently processes."""
+        if not self._pending_compactions:
+            return 0.0
+        active = min(len(self._pending_compactions), self.knobs.concurrent_compactors)
+        stream_cap = active * COMPACTOR_STREAM_BYTES
+        # Per-compactor throttle: parallel compactors raise the total
+        # drain rate (see AnalyticLSMModel._compaction_rate).
+        throttle = self.knobs.compaction_throughput_bytes * active
+        if self.knobs.compaction_method == LEVELED:
+            throttle = max(throttle, LEVELED_MIN_COMPACTION_BYTES)
+        return min(throttle, stream_cap)
+
+    def _drain_background(self, dt: float) -> None:
+        # Flush queue drains at flush-writer bandwidth.
+        if self._flush_queue_bytes > 0:
+            flush_bw = (
+                self.knobs.memtable_flush_writers * self.costs.flush_writer_bandwidth
+            )
+            self._flush_queue_bytes = max(0.0, self._flush_queue_bytes - flush_bw * dt)
+
+        # Compaction drains at its current rate, parallel across the first
+        # `concurrent_compactors` queued tasks.
+        rate = self._compaction_rate()
+        if rate <= 0.0:
+            return
+        budget = rate * dt
+        while budget > 0 and self._pending_compactions:
+            active = list(self._pending_compactions)[
+                : self.knobs.concurrent_compactors
+            ]
+            share = budget / len(active)
+            consumed = 0.0
+            for pending in active:
+                used = min(share, pending.remaining_bytes)
+                pending.remaining_bytes -= used
+                consumed += used
+            budget -= consumed
+            completed = [
+                p for p in list(self._pending_compactions) if p.remaining_bytes <= 0
+            ]
+            for p in completed:
+                self._pending_compactions.remove(p)
+                self._complete_compaction(p.task)
+            if consumed <= 0:
+                break
+
+    # ------------------------------------------------------------------ compaction
+
+    def _propose_compactions(self) -> None:
+        tasks = self.strategy.propose(
+            self.layout, self._busy_table_ids, self._issue_task_id
+        )
+        for task in tasks:
+            self._pending_compactions.append(
+                _PendingCompaction(task=task, remaining_bytes=float(task.io_bytes))
+            )
+            self._busy_table_ids.update(t.table_id for t in task.input_tables)
+            self.stats.compactions_started += 1
+
+    def _complete_compaction(self, task: CompactionTask) -> None:
+        merged = merge_records(
+            [t.records() for t in task.input_tables],
+            drop_tombstones=task.drop_tombstones,
+        )
+        self.layout.remove(task.input_tables)
+        for t in task.input_tables:
+            self._busy_table_ids.discard(t.table_id)
+            self.cache.invalidate_prefix(t.table_id)
+
+        if merged:
+            target_bytes = self.strategy.target_table_bytes(task.target_level)
+            if target_bytes is None:
+                table = SSTable(
+                    table_id=self._issue_table_id(),
+                    records=merged,
+                    fp_chance=self.knobs.bloom_fp_chance,
+                    level=task.target_level,
+                    created_at=self.clock.now,
+                )
+                self.layout.add_at_level(table, task.target_level)
+            else:
+                for table in split_into_tables(
+                    merged,
+                    max_table_bytes=target_bytes,
+                    next_id=self._issue_table_id,
+                    fp_chance=self.knobs.bloom_fp_chance,
+                    level=task.target_level,
+                    created_at=self.clock.now,
+                ):
+                    self.layout.add_at_level(table, task.target_level)
+
+        self.stats.compactions_completed += 1
+        self.stats.compaction_bytes += task.input_bytes
+        self.disk.account_compaction_bytes(task.io_bytes)
+        self._propose_compactions()
+
+    def __repr__(self) -> str:
+        return (
+            f"LSMEngine({self.strategy.name}, tables={self.sstable_count}, "
+            f"mem={self.memtable.size_bytes}B, t={self.clock.now:.3f}s)"
+        )

@@ -1,0 +1,85 @@
+"""Engine knobs: the bridge from a datastore configuration to the engine.
+
+A :class:`~repro.config.space.Configuration` holds vendor-file parameter
+values; :class:`EngineKnobs` is the resolved, engine-facing view of the
+subset that has mechanical meaning in the simulated LSM engine, with all
+unit conversions (MB -> bytes, ms -> s) done once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.config.space import Configuration
+from repro.errors import ConfigurationError
+
+MB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class EngineKnobs:
+    """Resolved engine tuning values (SI units)."""
+
+    compaction_method: str
+    concurrent_writes: int
+    concurrent_reads: int
+    file_cache_bytes: int
+    memtable_space_bytes: int
+    memtable_cleanup_threshold: float
+    memtable_flush_writers: int
+    concurrent_compactors: int
+    compaction_throughput_bytes: float
+    bloom_fp_chance: float
+    key_cache_bytes: int
+    row_cache_bytes: int
+    commitlog_segment_bytes: int
+    commitlog_sync_period_s: float
+    sstable_target_bytes: int
+
+    def __post_init__(self):
+        if self.compaction_method not in (SIZE_TIERED, LEVELED):
+            raise ConfigurationError(
+                f"unknown compaction method {self.compaction_method!r}"
+            )
+        if self.memtable_cleanup_threshold <= 0 or self.memtable_cleanup_threshold > 1:
+            raise ConfigurationError("cleanup threshold must be in (0, 1]")
+
+    @property
+    def flush_trigger_bytes(self) -> float:
+        """Memtable bytes at which a flush fires (MT x space, §3.4.1)."""
+        return self.memtable_cleanup_threshold * self.memtable_space_bytes
+
+    @classmethod
+    def from_configuration(cls, config: Configuration) -> "EngineKnobs":
+        """Resolve a Cassandra/ScyllaDB configuration into engine knobs.
+
+        Mirrors the vendor semantics the paper describes: memtable space
+        is the sum of the heap and off-heap pools, and the cleanup
+        threshold is the flush trigger fraction of that space.
+        """
+        space_bytes = (
+            config["memtable_heap_space_in_mb"]
+            + config["memtable_offheap_space_in_mb"]
+        ) * MB
+        return cls(
+            compaction_method=config["compaction_method"],
+            concurrent_writes=int(config["concurrent_writes"]),
+            concurrent_reads=int(config["concurrent_reads"]),
+            file_cache_bytes=int(config["file_cache_size_in_mb"]) * MB,
+            memtable_space_bytes=int(space_bytes),
+            memtable_cleanup_threshold=float(config["memtable_cleanup_threshold"]),
+            memtable_flush_writers=int(config["memtable_flush_writers"]),
+            concurrent_compactors=int(config["concurrent_compactors"]),
+            compaction_throughput_bytes=float(
+                config["compaction_throughput_mb_per_sec"]
+            )
+            * MB,
+            bloom_fp_chance=float(config["bloom_filter_fp_chance"]),
+            key_cache_bytes=int(config["key_cache_size_in_mb"]) * MB,
+            row_cache_bytes=int(config["row_cache_size_in_mb"]) * MB,
+            commitlog_segment_bytes=int(config["commitlog_segment_size_in_mb"]) * MB,
+            commitlog_sync_period_s=float(config["commitlog_sync_period_in_ms"])
+            / 1000.0,
+            sstable_target_bytes=int(config["sstable_size_in_mb"]) * MB,
+        )

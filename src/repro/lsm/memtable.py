@@ -1,0 +1,76 @@
+"""In-memory write-back cache of rows (Cassandra's Memtable).
+
+Writes are batched here until the fill fraction crosses
+``memtable_cleanup_threshold``, at which point the engine flushes the
+contents to a new immutable SSTable (paper §2.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.lsm.record import Record
+
+
+class Memtable:
+    """Mutable map of key -> newest Record with byte accounting."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError("memtable capacity must be positive")
+        self.capacity_bytes = int(capacity_bytes)
+        self._rows: Dict[str, Record] = {}
+        self._bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def fill_fraction(self) -> float:
+        return self._bytes / self.capacity_bytes
+
+    def put(self, record: Record) -> None:
+        """Insert or overwrite a row version (newest timestamp wins)."""
+        existing = self._rows.get(record.key)
+        if existing is not None:
+            if not record.supersedes(existing):
+                return  # stale write, e.g. replayed out of order
+            self._bytes -= existing.size_bytes
+        self._rows[record.key] = record
+        self._bytes += record.size_bytes
+
+    def get(self, key: str) -> Optional[Record]:
+        """Return the row version held here, tombstones included."""
+        return self._rows.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._rows
+
+    def should_flush(self, cleanup_threshold: float) -> bool:
+        """Flush trigger: fill fraction reached ``cleanup_threshold``."""
+        return self._bytes >= cleanup_threshold * self.capacity_bytes
+
+    def scan(self, start_key: str, end_key: str) -> Iterator[Record]:
+        """Records with start <= key <= end, in key order (tombstones
+        included — the caller merges)."""
+        for key in sorted(self._rows):
+            if start_key <= key <= end_key:
+                yield self._rows[key]
+
+    def drain(self) -> Iterator[Record]:
+        """Yield all records in key order and leave the memtable empty."""
+        rows = self._rows
+        self._rows = {}
+        self._bytes = 0
+        for key in sorted(rows):
+            yield rows[key]
+
+    def __repr__(self) -> str:
+        return (
+            f"Memtable({len(self._rows)} rows, {self._bytes}B, "
+            f"fill={self.fill_fraction:.2%})"
+        )

@@ -1,0 +1,43 @@
+"""Row records and tombstones."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Fixed per-record storage overhead (key bytes, timestamps, row header).
+RECORD_OVERHEAD_BYTES = 40
+
+
+@dataclass(frozen=True, order=True)
+class Record:
+    """One row version: a (key, value, timestamp) triple.
+
+    ``value is None`` marks a tombstone (a delete marker).  Ordering is by
+    ``(key, timestamp)`` so merged iteration during compaction can pick
+    the newest version of each key.
+    """
+
+    key: str
+    timestamp: float
+    value: Optional[bytes] = None
+
+    @property
+    def is_tombstone(self) -> bool:
+        return self.value is None
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate on-disk footprint of this record."""
+        value_len = len(self.value) if self.value is not None else 0
+        return RECORD_OVERHEAD_BYTES + len(self.key) + value_len
+
+    @staticmethod
+    def tombstone(key: str, timestamp: float) -> "Record":
+        return Record(key=key, timestamp=timestamp, value=None)
+
+    def supersedes(self, other: "Record") -> bool:
+        """Whether this version should win over ``other`` for the same key."""
+        if self.key != other.key:
+            raise ValueError("cannot compare versions of different keys")
+        return self.timestamp >= other.timestamp

@@ -1,0 +1,183 @@
+"""Immutable sorted string tables (SSTables).
+
+Each memtable flush produces one SSTable: records sorted by key, a bloom
+filter, and a sparse block index.  SSTables are never modified; compaction
+merges several into new ones and discards the inputs (paper §2.2.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lsm.bloom import BloomFilter
+from repro.lsm.record import Record
+
+#: Logical block size used for cache accounting (Cassandra reads 64k
+#: buffered chunks through its file cache).
+BLOCK_BYTES = 64 * 1024
+
+
+class SSTable:
+    """An immutable, sorted, bloom-filtered run of records.
+
+    Records are stored key-sorted with one version per key (the flush /
+    compaction that built the table already collapsed versions).
+    """
+
+    __slots__ = (
+        "table_id",
+        "level",
+        "_keys",
+        "_records",
+        "bloom",
+        "size_bytes",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        table_id: int,
+        records: Sequence[Record],
+        fp_chance: float,
+        level: int = 0,
+        created_at: float = 0.0,
+    ):
+        if not records:
+            raise ValueError("an SSTable cannot be empty")
+        keys = [r.key for r in records]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("records must be strictly sorted by key")
+        self.table_id = table_id
+        self.level = level
+        self._keys: List[str] = keys
+        self._records: List[Record] = list(records)
+        self.bloom = BloomFilter.from_keys(keys, fp_chance)
+        self.size_bytes = sum(r.size_bytes for r in records)
+        self.created_at = created_at
+
+    # -- metadata --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def key_count(self) -> int:
+        return len(self._records)
+
+    @property
+    def min_key(self) -> str:
+        return self._keys[0]
+
+    @property
+    def max_key(self) -> str:
+        return self._keys[-1]
+
+    @property
+    def block_count(self) -> int:
+        return max(1, (self.size_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES)
+
+    def overlaps(self, other: "SSTable") -> bool:
+        """Whether the key ranges of two tables intersect."""
+        return self.min_key <= other.max_key and other.min_key <= self.max_key
+
+    def overlaps_range(self, min_key: str, max_key: str) -> bool:
+        return self.min_key <= max_key and min_key <= self.max_key
+
+    # -- reads ---------------------------------------------------------------
+
+    def might_contain(self, key: str) -> bool:
+        """Bloom-filter membership test (false positives possible)."""
+        if key < self.min_key or key > self.max_key:
+            return False
+        return self.bloom.might_contain(key)
+
+    def get(self, key: str) -> Optional[Record]:
+        """Exact lookup; None if absent (bloom said maybe but lied)."""
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return self._records[i]
+        return None
+
+    def block_of(self, key: str) -> int:
+        """Index of the logical block holding ``key`` (for the cache)."""
+        i = bisect.bisect_left(self._keys, key)
+        i = min(i, len(self._keys) - 1)
+        # Records are roughly uniform in size; map record index -> block.
+        return int(i * self.size_bytes / max(len(self._keys), 1)) // BLOCK_BYTES
+
+    def records(self) -> Iterable[Record]:
+        return iter(self._records)
+
+    def records_in_range(self, start_key: str, end_key: str) -> Iterable[Record]:
+        """Records with start <= key <= end, in key order."""
+        lo = bisect.bisect_left(self._keys, start_key)
+        hi = bisect.bisect_right(self._keys, end_key)
+        return iter(self._records[lo:hi])
+
+    def range_fraction(self, start_key: str, end_key: str) -> float:
+        """Fraction of this table's rows inside [start, end]."""
+        lo = bisect.bisect_left(self._keys, start_key)
+        hi = bisect.bisect_right(self._keys, end_key)
+        return max(hi - lo, 0) / max(len(self._keys), 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"SSTable(id={self.table_id}, L{self.level}, {self.key_count} keys, "
+            f"{self.size_bytes}B, [{self.min_key}..{self.max_key}])"
+        )
+
+
+def merge_records(
+    runs: Sequence[Iterable[Record]],
+    drop_tombstones: bool = False,
+) -> List[Record]:
+    """K-way merge of sorted runs, keeping the newest version per key.
+
+    ``drop_tombstones`` is only safe when merging *all* tables that could
+    contain older versions of a key (e.g. a full merge or bottom-level
+    leveled compaction); otherwise tombstones must be retained so they
+    keep shadowing older versions elsewhere.
+    """
+    newest: Dict[str, Record] = {}
+    for run in runs:
+        for rec in run:
+            cur = newest.get(rec.key)
+            if cur is None or rec.supersedes(cur):
+                newest[rec.key] = rec
+    merged = [newest[k] for k in sorted(newest)]
+    if drop_tombstones:
+        merged = [r for r in merged if not r.is_tombstone]
+    return merged
+
+
+def split_into_tables(
+    records: Sequence[Record],
+    max_table_bytes: int,
+    next_id,
+    fp_chance: float,
+    level: int,
+    created_at: float,
+) -> List[SSTable]:
+    """Chop a sorted record run into SSTables of bounded size.
+
+    Used by leveled compaction, which maintains equal-sized,
+    non-overlapping tables per level; ``next_id`` is a callable issuing
+    fresh table ids.
+    """
+    tables: List[SSTable] = []
+    chunk: List[Record] = []
+    chunk_bytes = 0
+    for rec in records:
+        chunk.append(rec)
+        chunk_bytes += rec.size_bytes
+        if chunk_bytes >= max_table_bytes:
+            tables.append(
+                SSTable(next_id(), chunk, fp_chance, level=level, created_at=created_at)
+            )
+            chunk, chunk_bytes = [], 0
+    if chunk:
+        tables.append(
+            SSTable(next_id(), chunk, fp_chance, level=level, created_at=created_at)
+        )
+    return tables

@@ -1,0 +1,164 @@
+"""Decision-tree surrogates: the interpretable models the paper rejected.
+
+§3.7.2: "we experimented with an interpretable model, the decision tree,
+with the node at each level having a single decision variable ... We
+found that this was woefully inadequate.  When each node was allowed to
+have a linear combination of the parameters, the performance improved."
+
+:class:`DecisionTreeRegressor` is the axis-aligned CART variant;
+:class:`ModelTreeRegressor` adds ridge-linear leaf models (the "linear
+combination" upgrade).  Both are used in the ablation benches to show
+the expressivity gap against the DNN ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    value: float = 0.0
+    linear: Optional[np.ndarray] = None  # leaf ridge model (model trees)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class DecisionTreeRegressor:
+    """Axis-aligned CART regression tree (variance-reduction splits)."""
+
+    def __init__(self, max_depth: int = 6, min_samples_leaf: int = 4):
+        if max_depth < 1 or min_samples_leaf < 1:
+            raise TrainingError("bad tree hyperparameters")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self._root: Optional[_Node] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if x.ndim != 2 or x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise TrainingError("bad training data shapes")
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _leaf(self, x: np.ndarray, y: np.ndarray) -> _Node:
+        return _Node(value=float(y.mean()))
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf or np.ptp(y) == 0:
+            return self._leaf(x, y)
+        best = self._best_split(x, y)
+        if best is None:
+            return self._leaf(x, y)
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node = _Node(feature=feature, threshold=threshold)
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        node.value = float(y.mean())
+        return node
+
+    def _best_split(self, x: np.ndarray, y: np.ndarray):
+        n, d = x.shape
+        parent_sse = float(np.sum((y - y.mean()) ** 2))
+        best_gain, best = 1e-12, None
+        for f in range(d):
+            order = np.argsort(x[:, f], kind="stable")
+            xs, ys = x[order, f], y[order]
+            # candidate thresholds between distinct values
+            for i in range(self.min_samples_leaf, n - self.min_samples_leaf + 1):
+                if i < n and xs[i - 1] == xs[i]:
+                    continue
+                left, right = ys[:i], ys[i:]
+                if len(left) < self.min_samples_leaf or len(right) < self.min_samples_leaf:
+                    continue
+                sse = float(np.sum((left - left.mean()) ** 2)) + float(
+                    np.sum((right - right.mean()) ** 2)
+                )
+                gain = parent_sse - sse
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (f, float((xs[i - 1] + xs[i]) / 2.0))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise TrainingError("tree used before fit()")
+        x = np.asarray(x, dtype=float)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[None, :]
+        out = np.array([self._predict_one(row) for row in x])
+        return float(out[0]) if squeeze else out
+
+    def _predict_one(self, row: np.ndarray) -> float:
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+        if node.linear is not None:
+            return float(node.linear[0] + row @ node.linear[1:])
+        return node.value
+
+    def depth(self) -> int:
+        def walk(node, d):
+            if node is None or node.is_leaf:
+                return d
+            return max(walk(node.left, d + 1), walk(node.right, d + 1))
+
+        return walk(self._root, 0)
+
+
+class ModelTreeRegressor(DecisionTreeRegressor):
+    """CART with ridge-linear leaf models — more expressive, less
+    interpretable; the paper's halfway house before giving up on
+    interpretability.
+
+    Predictions are clamped to the training-target range: linear leaves
+    extrapolate without bound outside their fitting hull, and an
+    unclamped model tree can be *worse* than the plain tree on held-out
+    configurations.
+    """
+
+    def __init__(self, max_depth: int = 4, min_samples_leaf: int = 8, ridge: float = 1e-3):
+        super().__init__(max_depth=max_depth, min_samples_leaf=min_samples_leaf)
+        self.ridge = ridge
+        self._y_min: Optional[float] = None
+        self._y_max: Optional[float] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ModelTreeRegressor":
+        y = np.asarray(y, dtype=float).ravel()
+        if y.size:
+            self._y_min, self._y_max = float(y.min()), float(y.max())
+        super().fit(x, y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        out = super().predict(x)
+        if self._y_min is not None:
+            out = np.clip(out, self._y_min, self._y_max)
+            if np.ndim(out) == 0:
+                return float(out)
+        return out
+
+    def _leaf(self, x: np.ndarray, y: np.ndarray) -> _Node:
+        node = _Node(value=float(y.mean()))
+        if len(y) >= x.shape[1] + 2:
+            design = np.hstack([np.ones((len(y), 1)), x])
+            gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+            try:
+                node.linear = np.linalg.solve(gram, design.T @ y)
+            except np.linalg.LinAlgError:
+                node.linear = None
+        return node

@@ -1,0 +1,47 @@
+"""Regression error metrics used in the paper's Tables 2 and Figure 7-9."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def _pair(y_true, y_pred) -> tuple:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise TrainingError("prediction/target shape mismatch")
+    if y_true.size == 0:
+        raise TrainingError("empty metric input")
+    return y_true, y_pred
+
+
+def mean_absolute_percentage_error(y_true, y_pred) -> float:
+    """MAPE in percent — the paper's "prediction error" (e.g. 7.5%)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    if np.any(y_true == 0):
+        raise TrainingError("MAPE undefined for zero targets")
+    return float(np.mean(np.abs((y_pred - y_true) / y_true)) * 100.0)
+
+
+def percentage_errors(y_true, y_pred) -> np.ndarray:
+    """Signed percentage errors (for the Figure 8/9 histograms)."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return (y_pred - y_true) / y_true * 100.0
+
+
+def rmse(y_true, y_pred) -> float:
+    """Root-mean-square error in ops/s (Table 2's "Avg. RMSE")."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    return float(np.sqrt(np.mean((y_pred - y_true) ** 2)))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination (Table 2's "R2 Value")."""
+    y_true, y_pred = _pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,62 @@
+"""Feature/target standardization."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling with safe inverse.
+
+    Constant columns get a unit scale so they pass through unchanged
+    (the surrogate sees them but they carry no signal).
+    """
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean_ is not None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[:, None]
+        if x.shape[0] == 0:
+            raise TrainingError("cannot fit a scaler on empty data")
+        self.mean_ = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def _check(self):
+        if not self.is_fitted:
+            raise TrainingError("scaler used before fit()")
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        x = np.asarray(x, dtype=float)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        out = (x - self.mean_) / self.scale_
+        return out[:, 0] if squeeze else out
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def inverse_transform(self, x: np.ndarray) -> np.ndarray:
+        self._check()
+        x = np.asarray(x, dtype=float)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[:, None]
+        out = x * self.scale_ + self.mean_
+        return out[:, 0] if squeeze else out

@@ -1,0 +1,28 @@
+"""Simulated-time hardware substrate.
+
+The paper benchmarks real servers; this package provides the deterministic,
+seedable stand-in: a simulated clock, a disk with separate sequential
+bandwidth and random-IOPS budgets shared between foreground queries and
+background compaction, a CPU-core pool with contention, and an LRU file
+cache.  Every cost formula lives here so the per-operation and batched
+execution paths of the LSM engine agree by construction.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.cpu import CpuModel
+from repro.sim.disk import DiskModel
+from repro.sim.cache import LruFileCache
+from repro.sim.hardware import HardwareSpec, DEFAULT_SERVER, CLIENT_OPTERON
+from repro.sim.rng import SeedSequence, derive_rng
+
+__all__ = [
+    "SimClock",
+    "CpuModel",
+    "DiskModel",
+    "LruFileCache",
+    "HardwareSpec",
+    "DEFAULT_SERVER",
+    "CLIENT_OPTERON",
+    "SeedSequence",
+    "derive_rng",
+]

@@ -1,0 +1,114 @@
+"""LRU file cache model.
+
+Models Cassandra's ``file_cache_size_in_mb`` buffer: a capacity-bounded
+LRU of fixed-size pages holding SSTable blocks read from disk.  The LSM
+engine consults it on every SSTable access; hits cost CPU only, misses
+cost a random disk read.
+
+Two interfaces are provided on one structure:
+
+* exact per-key LRU (:meth:`access`) used on the per-operation path, and
+* an analytic hit-ratio estimator (:meth:`expected_hit_ratio`) used on the
+  batched path, derived from the key-reuse-distance distribution — the
+  same quantity the paper characterizes (KRD) and the reason caching is of
+  "limited value" for MG-RAST (§3.3).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Hashable
+
+
+class LruFileCache:
+    """Bounded LRU over (table_id, block) keys with hit/miss accounting."""
+
+    def __init__(self, capacity_bytes: int, page_bytes: int = 64 * 1024):
+        if page_bytes <= 0:
+            raise ValueError("page size must be positive")
+        if capacity_bytes < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self.page_bytes = int(page_bytes)
+        self._capacity_pages = self.capacity_bytes // self.page_bytes
+        self._pages: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity_pages(self) -> int:
+        return self._capacity_pages
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def resize(self, capacity_bytes: int) -> None:
+        """Change capacity (an online reconfiguration); evicts LRU pages."""
+        if capacity_bytes < 0:
+            raise ValueError("capacity cannot be negative")
+        self.capacity_bytes = int(capacity_bytes)
+        self._capacity_pages = self.capacity_bytes // self.page_bytes
+        while len(self._pages) > self._capacity_pages:
+            self._pages.popitem(last=False)
+
+    def access(self, page_key: Hashable) -> bool:
+        """Touch a page; return True on hit, False on miss (page loaded)."""
+        if self._capacity_pages == 0:
+            self.misses += 1
+            return False
+        if page_key in self._pages:
+            self._pages.move_to_end(page_key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page_key] = None
+        if len(self._pages) > self._capacity_pages:
+            self._pages.popitem(last=False)
+        return False
+
+    def invalidate_prefix(self, table_id: Hashable) -> int:
+        """Drop all pages of a compacted-away SSTable; returns count."""
+        stale = [k for k in self._pages if isinstance(k, tuple) and k[0] == table_id]
+        for k in stale:
+            del self._pages[k]
+        return len(stale)
+
+    def clear(self) -> None:
+        self._pages.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- analytic path -----------------------------------------------------------
+
+    def expected_hit_ratio(self, mean_reuse_distance: float, working_set_pages: float) -> float:
+        """Estimate steady-state hit ratio from the KRD distribution.
+
+        With exponentially distributed reuse distances of mean ``d`` (in
+        pages touched between reuses) and a cache of ``C`` pages over a
+        working set of ``W`` pages, a re-access hits iff fewer than ``C``
+        *distinct* pages intervened.  Approximating distinct-page count by
+        the reuse distance capped by the working set, the hit probability
+        is ``P[D < C_eff] = 1 - exp(-C_eff / d)`` with
+        ``C_eff = min(C, W)``.  This is the classic che-approximation
+        shape and matches the paper's observation that huge KRD makes
+        caches nearly useless.
+        """
+        if mean_reuse_distance <= 0:
+            raise ValueError("mean reuse distance must be positive")
+        c_eff = min(float(self._capacity_pages), max(working_set_pages, 1.0))
+        if c_eff <= 0:
+            return 0.0
+        if working_set_pages <= self._capacity_pages:
+            # Entire working set fits: everything but cold misses hits.
+            return 1.0
+        return 1.0 - math.exp(-c_eff / mean_reuse_distance)
+
+    def __repr__(self) -> str:
+        return (
+            f"LruFileCache(cap={self.capacity_bytes / (1024 * 1024):.0f}MB, "
+            f"pages={len(self._pages)}/{self._capacity_pages}, hit={self.hit_ratio:.2%})"
+        )

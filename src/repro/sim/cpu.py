@@ -1,0 +1,72 @@
+"""CPU cost model with concurrency contention.
+
+Concurrency knobs like ``concurrent_writes`` control how many worker
+threads serve requests.  Throughput scales with the thread count until it
+saturates the cores, after which extra threads add context-switch and lock
+contention overhead — this is what makes the concurrency parameters
+non-monotonic in the paper's Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.sim.hardware import HardwareSpec
+
+#: Reference clock used to normalize per-op CPU costs across hardware.
+_REFERENCE_GHZ = 3.0
+
+#: Per-extra-thread contention penalty once past saturation.  Calibrated so
+#: that oversubscribing by 8x costs roughly 30% of peak throughput, in line
+#: with the CW=64 degradation the paper reports for leveled compaction.
+_CONTENTION_PER_THREAD = 0.012
+
+
+class CpuModel:
+    """Maps thread counts to effective parallel speedup.
+
+    ``effective_parallelism(threads)`` is the factor by which a pool of
+    ``threads`` workers divides per-operation CPU time, accounting for the
+    core limit and oversubscription contention.
+    """
+
+    def __init__(self, hardware: HardwareSpec, background_utilization: float = 0.0):
+        self.hardware = hardware
+        self._bg_util = min(max(background_utilization, 0.0), 0.9)
+
+    def set_background_utilization(self, util: float) -> None:
+        """Declare background CPU demand (compaction merge work)."""
+        self._bg_util = min(max(util, 0.0), 0.9)
+
+    @property
+    def background_utilization(self) -> float:
+        return self._bg_util
+
+    @property
+    def available_cores(self) -> float:
+        """Cores left for foreground work this interval."""
+        return self.hardware.cpu_cores * (1.0 - self._bg_util)
+
+    def scale_cost(self, reference_seconds: float) -> float:
+        """Scale a cost calibrated at 3.0 GHz to this machine's clock."""
+        return reference_seconds * (_REFERENCE_GHZ / self.hardware.cpu_ghz)
+
+    def effective_parallelism(self, threads: int) -> float:
+        """Speedup factor for a pool of ``threads`` workers.
+
+        Below the available core count, speedup is linear.  Past it,
+        speedup plateaus and then *decreases* as contention costs mount:
+
+        ``p(t) = min(t, cores) / (1 + c * max(0, t - saturation))``
+
+        where ``saturation`` allows modest oversubscription (I/O-blocked
+        threads) before contention kicks in.
+        """
+        if threads < 1:
+            raise ValueError("thread count must be >= 1")
+        cores = max(self.available_cores, 0.5)
+        saturation = cores * 2.0  # tolerate 2 threads/core before penalty
+        base = min(float(threads), cores)
+        over = max(0.0, threads - saturation)
+        return base / (1.0 + _CONTENTION_PER_THREAD * over * (threads / cores) )
+
+    def __repr__(self) -> str:
+        return f"CpuModel({self.hardware.name}, bg={self._bg_util:.2f})"

@@ -1,0 +1,62 @@
+"""Deterministic random-number plumbing.
+
+Every stochastic component (workload generator, GA, NN initialization,
+ScyllaDB tuner noise, ...) takes an explicit ``numpy.random.Generator``.
+This module centralizes how independent streams are derived from a single
+experiment seed so that results are reproducible end to end and components
+do not perturb each other's streams.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+class SeedSequence:
+    """Hands out independent, named random streams from one root seed.
+
+    >>> seeds = SeedSequence(42)
+    >>> rng_a = seeds.stream("workload")
+    >>> rng_b = seeds.stream("ga")
+
+    The same (root seed, name, index) always yields the same stream, and
+    distinct names yield statistically independent streams.
+    """
+
+    def __init__(self, root_seed: int = 0):
+        self._root = int(root_seed)
+        self._counts: dict[str, int] = {}
+
+    @property
+    def root_seed(self) -> int:
+        return self._root
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return a fresh independent generator for ``name``.
+
+        Calling the same name repeatedly yields a *new* independent stream
+        each time (indexed), so components that need several generators can
+        just call again.
+        """
+        index = self._counts.get(name, 0)
+        self._counts[name] = index + 1
+        # Hash the name into ints for numpy's SeedSequence entropy pool.
+        name_entropy = [ord(c) for c in name] or [0]
+        seq = np.random.SeedSequence([self._root, index, *name_entropy])
+        return np.random.default_rng(seq)
+
+    def child(self, name: str) -> "SeedSequence":
+        """Derive a child SeedSequence (e.g., one per cluster node)."""
+        rng = self.stream(f"child:{name}")
+        return SeedSequence(int(rng.integers(0, 2**31 - 1)))
+
+
+def derive_rng(seed: SeedLike) -> np.random.Generator:
+    """Coerce ``seed`` (int, Generator, or None) into a Generator."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)

@@ -1,0 +1,55 @@
+"""Workload modelling: specs, key distributions, traces, characterization.
+
+Implements the paper's workload layer (§2.4, §3.3): MG-RAST-style
+dynamic query streams, the two characterization statistics Rafiki uses —
+Read Ratio (RR) per 15-minute window and Key Reuse Distance (KRD, fit
+with an exponential distribution) — and generators to drive benchmarks.
+"""
+
+from repro.workload.spec import WorkloadSpec, READ, WRITE, DELETE
+from repro.workload.keydist import (
+    ExponentialReuseKeyDistribution,
+    UniformKeyDistribution,
+    ZipfianKeyDistribution,
+)
+from repro.workload.generator import Operation, OperationGenerator
+from repro.workload.trace import QueryRecord, Trace
+from repro.workload.mgrast import MGRastTraceGenerator, MGRastPhase
+from repro.workload.characterize import (
+    WorkloadCharacterization,
+    characterize_trace,
+    fit_exponential_krd,
+    read_ratio_windows,
+)
+from repro.workload.forecast import (
+    ExponentialSmoothingForecaster,
+    LastValueForecaster,
+    MarkovRegimeForecaster,
+    RRForecaster,
+    forecast_series,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "READ",
+    "WRITE",
+    "DELETE",
+    "ExponentialReuseKeyDistribution",
+    "UniformKeyDistribution",
+    "ZipfianKeyDistribution",
+    "Operation",
+    "OperationGenerator",
+    "QueryRecord",
+    "Trace",
+    "MGRastTraceGenerator",
+    "MGRastPhase",
+    "WorkloadCharacterization",
+    "characterize_trace",
+    "fit_exponential_krd",
+    "read_ratio_windows",
+    "RRForecaster",
+    "LastValueForecaster",
+    "ExponentialSmoothingForecaster",
+    "MarkovRegimeForecaster",
+    "forecast_series",
+]

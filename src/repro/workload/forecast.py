@@ -1,0 +1,150 @@
+"""Workload forecasting (the paper's future work, §6).
+
+"We are also developing a prediction model for the workloads" — the
+point being that if the next window's read ratio can be predicted, the
+controller can reconfigure *proactively* at the window boundary instead
+of reacting one window late.
+
+Three online forecasters over the per-window RR series:
+
+* :class:`LastValueForecaster` — predicts "same as last window"; this is
+  what a purely reactive controller implicitly assumes.
+* :class:`ExponentialSmoothingForecaster` — smooths wobble inside a
+  regime but lags regime switches.
+* :class:`MarkovRegimeForecaster` — quantizes RR into regime bins and
+  learns the window-to-window transition matrix online; suits MG-RAST's
+  regime-switching structure (Figure 3), where "same regime" is likely
+  but switches have learnable destinations.
+
+All are online: ``update()`` with each observed window, ``predict()``
+for the next.  They never see the future.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class RRForecaster:
+    """Interface: an online predictor of the next window's read ratio."""
+
+    def update(self, read_ratio: float) -> None:
+        """Feed the just-observed window's RR."""
+        raise NotImplementedError
+
+    def predict(self) -> float:
+        """Predict the next window's RR (in [0, 1])."""
+        raise NotImplementedError
+
+    def observe_and_predict(self, read_ratio: float) -> float:
+        self.update(read_ratio)
+        return self.predict()
+
+    @staticmethod
+    def _check(read_ratio: float) -> float:
+        if not (0.0 <= read_ratio <= 1.0):
+            raise WorkloadError(f"read ratio {read_ratio} outside [0, 1]")
+        return float(read_ratio)
+
+
+class LastValueForecaster(RRForecaster):
+    """Next window == this window (the reactive-controller assumption)."""
+
+    def __init__(self, initial: float = 0.5):
+        self._last = self._check(initial)
+
+    def update(self, read_ratio: float) -> None:
+        self._last = self._check(read_ratio)
+
+    def predict(self) -> float:
+        return self._last
+
+
+class ExponentialSmoothingForecaster(RRForecaster):
+    """EWMA over the RR series: ``level <- a*rr + (1-a)*level``."""
+
+    def __init__(self, alpha: float = 0.5, initial: float = 0.5):
+        if not (0.0 < alpha <= 1.0):
+            raise WorkloadError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._level = self._check(initial)
+
+    def update(self, read_ratio: float) -> None:
+        rr = self._check(read_ratio)
+        self._level = self.alpha * rr + (1.0 - self.alpha) * self._level
+
+    def predict(self) -> float:
+        return self._level
+
+
+class MarkovRegimeForecaster(RRForecaster):
+    """First-order Markov chain over quantized RR regimes.
+
+    RR is binned into ``n_bins`` regimes; transition counts are learned
+    online with Laplace smoothing.  The prediction is the expected RR of
+    the next regime: ``sum_j P(j | current) * center_j`` — which decays
+    toward the regime's continuation when the chain is confident and
+    toward the global mix when it is not.
+    """
+
+    def __init__(self, n_bins: int = 5, smoothing: float = 1.0):
+        if n_bins < 2:
+            raise WorkloadError("need at least two regime bins")
+        if smoothing <= 0:
+            raise WorkloadError("smoothing must be positive")
+        self.n_bins = n_bins
+        self.smoothing = smoothing
+        self._transitions = np.full((n_bins, n_bins), smoothing, dtype=float)
+        self._bin_sums = np.zeros(n_bins)     # running mean RR per bin
+        self._bin_counts = np.zeros(n_bins)
+        self._current_bin: Optional[int] = None
+
+    def _bin_of(self, rr: float) -> int:
+        return min(int(rr * self.n_bins), self.n_bins - 1)
+
+    def _bin_center(self, b: int) -> float:
+        if self._bin_counts[b] > 0:
+            return float(self._bin_sums[b] / self._bin_counts[b])
+        return (b + 0.5) / self.n_bins
+
+    def update(self, read_ratio: float) -> None:
+        rr = self._check(read_ratio)
+        new_bin = self._bin_of(rr)
+        self._bin_sums[new_bin] += rr
+        self._bin_counts[new_bin] += 1
+        if self._current_bin is not None:
+            self._transitions[self._current_bin, new_bin] += 1.0
+        self._current_bin = new_bin
+
+    def predict(self) -> float:
+        if self._current_bin is None:
+            return 0.5
+        row = self._transitions[self._current_bin]
+        probs = row / row.sum()
+        centers = np.array([self._bin_center(b) for b in range(self.n_bins)])
+        return float(np.clip(probs @ centers, 0.0, 1.0))
+
+    def transition_matrix(self) -> np.ndarray:
+        """Row-normalized learned transition probabilities."""
+        rows = self._transitions.sum(axis=1, keepdims=True)
+        return self._transitions / rows
+
+
+def forecast_series(
+    forecaster: RRForecaster, rr_series: "np.ndarray"
+) -> List[float]:
+    """One-step-ahead forecasts for each window (given only the past).
+
+    ``predictions[i]`` is the forecast for window ``i`` made after
+    observing windows ``0..i-1``; ``predictions[0]`` is the forecaster's
+    prior.
+    """
+    predictions: List[float] = []
+    for rr in rr_series:
+        predictions.append(forecaster.predict())
+        forecaster.update(float(rr))
+    return predictions

@@ -1,0 +1,101 @@
+"""Operation-stream generation.
+
+Turns a :class:`~repro.workload.spec.WorkloadSpec` into a concrete
+sequence of read/write/delete operations with keys drawn from a
+KRD-faithful distribution — the per-operation analogue of what the
+batched benchmark path computes in expectation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.workload.keydist import (
+    ExponentialReuseKeyDistribution,
+    KeyDistribution,
+)
+from repro.workload.spec import DELETE, READ, WRITE, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One benchmark operation."""
+
+    kind: str  # READ | WRITE | DELETE
+    key: str
+    value_bytes: int = 0
+
+    def payload(self, rng: np.random.Generator) -> bytes:
+        """Materialize a value body (random bytes of the spec'd size)."""
+        if self.kind != WRITE:
+            return b""
+        return rng.bytes(self.value_bytes)
+
+
+class OperationGenerator:
+    """Draws an endless operation stream matching a workload spec.
+
+    Writes split between updates of existing keys (``update_fraction``)
+    and inserts of fresh keys; reads follow the KRD distribution.
+    """
+
+    def __init__(
+        self,
+        spec: WorkloadSpec,
+        rng: np.random.Generator,
+        key_dist: Optional[KeyDistribution] = None,
+        loaded_keys: int = 0,
+    ):
+        self.spec = spec
+        self.rng = rng
+        self.key_dist = key_dist or ExponentialReuseKeyDistribution(
+            n_keys=spec.n_keys,
+            mean_reuse_distance=spec.krd_mean_ops,
+        )
+        # Insert cursor: fresh keys get ids past the loaded range.
+        self._next_insert_id = loaded_keys
+        self._loaded_keys = loaded_keys
+
+    def load_operations(self, count: int) -> Iterator[Operation]:
+        """The YCSB load phase: ``count`` sequential fresh inserts."""
+        for _ in range(count):
+            key = self.key_dist.key_name(self._next_insert_id)
+            self._next_insert_id += 1
+            yield Operation(kind=WRITE, key=key, value_bytes=self.spec.value_bytes)
+
+    def __iter__(self) -> Iterator[Operation]:
+        while True:
+            yield self.next_operation()
+
+    def next_operation(self) -> Operation:
+        u = self.rng.random()
+        if u < self.spec.read_ratio:
+            key_id = self._existing_key()
+            return Operation(kind=READ, key=self.key_dist.key_name(key_id))
+        if u < self.spec.read_ratio + self.spec.delete_fraction:
+            key_id = self._existing_key()
+            return Operation(kind=DELETE, key=self.key_dist.key_name(key_id))
+        # Write: update an existing key or insert a fresh one.
+        if self.rng.random() < self.spec.update_fraction:
+            key_id = self._existing_key()
+        else:
+            key_id = self._next_insert_id
+            self._next_insert_id += 1
+        return Operation(
+            kind=WRITE,
+            key=self.key_dist.key_name(key_id),
+            value_bytes=self.spec.value_bytes,
+        )
+
+    def operations(self, count: int) -> Iterator[Operation]:
+        """A bounded stream of ``count`` run-phase operations."""
+        for _ in range(count):
+            yield self.next_operation()
+
+    def _existing_key(self) -> int:
+        populated = max(self._next_insert_id, 1)
+        key_id = self.key_dist.next_key(self.rng)
+        return key_id % populated

@@ -1,0 +1,141 @@
+"""Key-selection distributions.
+
+The paper characterizes MG-RAST key access by its Key Reuse Distance
+(KRD): "the number of queries that pass before the same key is
+re-accessed" (§3.3), summarized by a fitted exponential distribution.
+:class:`ExponentialReuseKeyDistribution` generates exactly that process;
+uniform and zipfian selectors are provided for contrast (zipfian is the
+archetypal YCSB web workload the paper argues MG-RAST does *not* look
+like).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class KeyDistribution:
+    """Interface: pick keys from a keyspace of ``n_keys`` items."""
+
+    def __init__(self, n_keys: int):
+        if n_keys <= 0:
+            raise WorkloadError("n_keys must be positive")
+        self.n_keys = n_keys
+
+    def next_key(self, rng: np.random.Generator) -> int:
+        """Return the integer id of the next key to access."""
+        raise NotImplementedError
+
+    def key_name(self, key_id: int) -> str:
+        """Stable, sortable string form (zero-padded, YCSB-style)."""
+        return f"user{key_id:012d}"
+
+
+class UniformKeyDistribution(KeyDistribution):
+    """Every key equally likely — the no-locality extreme."""
+
+    def next_key(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(self.n_keys))
+
+
+class ZipfianKeyDistribution(KeyDistribution):
+    """Zipf-skewed popularity (YCSB's default web-style workload).
+
+    Uses the rejection-inversion sampler so construction is O(1) in the
+    keyspace size.
+    """
+
+    def __init__(self, n_keys: int, theta: float = 0.99):
+        super().__init__(n_keys)
+        if not (0.0 < theta < 1.0):
+            raise WorkloadError("zipfian theta must be in (0, 1)")
+        self.theta = theta
+        # Gray et al. approximation constants (as used by YCSB).
+        zeta2 = self._zeta(2, theta)
+        self._zetan = self._zeta(n_keys, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n_keys) ** (1 - theta)) / (1 - zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact up to a cutoff, then an integral approximation: the tail
+        # of sum(1/i^theta) converges to the integral for large i.
+        cutoff = min(n, 10_000)
+        s = sum(1.0 / i**theta for i in range(1, cutoff + 1))
+        if n > cutoff:
+            s += (n ** (1 - theta) - cutoff ** (1 - theta)) / (1 - theta)
+        return s
+
+    def next_key(self, rng: np.random.Generator) -> int:
+        u = rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n_keys * (self._eta * u - self._eta + 1) ** self._alpha)
+
+
+class ExponentialReuseKeyDistribution(KeyDistribution):
+    """Key stream with exponentially distributed reuse distances.
+
+    With probability ``reuse_probability`` the next access re-uses a key
+    seen ``d`` operations ago, where ``d ~ Exp(mean_reuse_distance)``;
+    otherwise it touches a uniformly random (likely cold) key.  A bounded
+    history window keeps memory flat — the paper faces the same bound
+    when computing KRD from production logs (§3.3).
+    """
+
+    def __init__(
+        self,
+        n_keys: int,
+        mean_reuse_distance: float,
+        reuse_probability: float = 0.8,
+        history_limit: int = 2_000_000,
+    ):
+        super().__init__(n_keys)
+        if mean_reuse_distance <= 0:
+            raise WorkloadError("mean_reuse_distance must be positive")
+        if not (0.0 <= reuse_probability <= 1.0):
+            raise WorkloadError("reuse_probability outside [0, 1]")
+        self.mean_reuse_distance = float(mean_reuse_distance)
+        self.reuse_probability = reuse_probability
+        self.history_limit = history_limit
+        self._history: Deque[int] = deque(maxlen=history_limit)
+        self._last_seen: dict = {}
+        self._count = 0
+
+    def next_key(self, rng: np.random.Generator) -> int:
+        key = -1
+        if self._history and rng.random() < self.reuse_probability:
+            # Draw a target distance; retry a couple of times if the
+            # slot's key was re-accessed more recently (which would
+            # realize a much shorter distance and bias the KRD low).
+            for _ in range(3):
+                distance = int(rng.exponential(self.mean_reuse_distance))
+                if distance >= len(self._history):
+                    break
+                candidate = self._history[len(self._history) - 1 - distance]
+                realized = self._count - self._last_seen.get(candidate, self._count) - 1
+                if realized >= distance // 2:
+                    key = candidate
+                    break
+        if key < 0:
+            # Reuse distance beyond the observable window (or a cold
+            # start): touch a uniformly random — likely cold — key.
+            key = int(rng.integers(self.n_keys))
+        if len(self._history) == self.history_limit:
+            # Evict bookkeeping for keys falling out of the window.
+            oldest = self._history[0]
+            if self._last_seen.get(oldest, -1) <= self._count - self.history_limit:
+                self._last_seen.pop(oldest, None)
+        self._history.append(key)
+        self._last_seen[key] = self._count
+        self._count += 1
+        return key

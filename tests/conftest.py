@@ -1,0 +1,72 @@
+"""Shared fixtures: small-scale knobs and hardware for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import cassandra_space
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.lsm.knobs import EngineKnobs
+from repro.sim.hardware import HardwareSpec
+
+KB = 1024
+MB = 1024 * KB
+
+
+def make_knobs(**overrides) -> EngineKnobs:
+    """Small engine knobs that flush/compact within a few hundred ops."""
+    base = dict(
+        compaction_method=SIZE_TIERED,
+        concurrent_writes=32,
+        concurrent_reads=32,
+        file_cache_bytes=256 * KB,
+        memtable_space_bytes=64 * KB,
+        memtable_cleanup_threshold=0.5,
+        memtable_flush_writers=2,
+        concurrent_compactors=2,
+        compaction_throughput_bytes=16 * MB,
+        bloom_fp_chance=0.01,
+        key_cache_bytes=16 * KB,
+        row_cache_bytes=0,
+        commitlog_segment_bytes=64 * KB,
+        commitlog_sync_period_s=10.0,
+        sstable_target_bytes=32 * KB,
+    )
+    base.update(overrides)
+    return EngineKnobs(**base)
+
+
+@pytest.fixture
+def small_knobs() -> EngineKnobs:
+    return make_knobs()
+
+
+@pytest.fixture
+def leveled_knobs() -> EngineKnobs:
+    return make_knobs(compaction_method=LEVELED)
+
+
+@pytest.fixture
+def small_hardware() -> HardwareSpec:
+    """A toy server so simulated costs stay visible at small scale."""
+    return HardwareSpec(
+        name="test-box",
+        cpu_cores=4,
+        cpu_ghz=3.0,
+        ram_bytes=4 * MB,
+        disk_seq_bandwidth=16 * MB,
+        disk_rand_iops=2_000.0,
+        disk_count=1,
+        net_bandwidth=10 * MB,
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def space():
+    return cassandra_space()

@@ -1,0 +1,57 @@
+import json
+
+import pytest
+
+from repro.analysis import (
+    format_comparison_table,
+    load_results,
+    render_experiments_markdown,
+)
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    payload = {
+        "average_gain": 0.31,
+        "evaluations": 3350,
+        "nested": {"ignored": 1},
+        "paper": {"average_gain": 0.30},
+    }
+    (tmp_path / "fig99_demo.json").write_text(json.dumps(payload))
+    return tmp_path
+
+
+class TestLoadResults:
+    def test_loads_by_stem(self, results_dir):
+        results = load_results(results_dir)
+        assert "fig99_demo" in results
+        assert results["fig99_demo"].payload["evaluations"] == 3350
+
+    def test_paper_accessor(self, results_dir):
+        results = load_results(results_dir)
+        assert results["fig99_demo"].paper == {"average_gain": 0.30}
+
+    def test_missing_dir_empty(self, tmp_path):
+        assert load_results(tmp_path / "nope") == {}
+
+
+class TestFormatting:
+    def test_table_shape(self):
+        table = format_comparison_table([("gain", 0.30, 0.31)])
+        lines = table.splitlines()
+        assert lines[0].startswith("| metric")
+        assert "0.300" in lines[2] and "0.310" in lines[2]
+
+    def test_large_numbers_comma_separated(self):
+        table = format_comparison_table([("ops", 78556, 79996.5)])
+        assert "78,556" in table
+        assert "79,996" in table
+
+    def test_render_includes_paper_reference(self, results_dir):
+        md = render_experiments_markdown(results_dir)
+        assert "fig99_demo" in md
+        assert "average_gain" in md
+        assert "0.300" in md
+
+    def test_render_empty(self, tmp_path):
+        assert "No bench results" in render_experiments_markdown(tmp_path)

@@ -1,0 +1,127 @@
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A tiny collect -> train run shared across CLI tests."""
+    root = tmp_path_factory.mktemp("cli")
+    dataset = root / "dataset.json"
+    surrogate = root / "surrogate.json"
+    rc = main(
+        [
+            "collect",
+            "--out", str(dataset),
+            "--workloads", "4",
+            "--configurations", "5",
+            "--faulty", "1",
+            "--seed", "3",
+            "--quiet",
+        ]
+    )
+    assert rc == 0
+    rc = main(
+        [
+            "train",
+            "--dataset", str(dataset),
+            "--out", str(surrogate),
+            "--networks", "3",
+            "--seed", "3",
+        ]
+    )
+    assert rc == 0
+    return dataset, surrogate
+
+
+class TestCollect(object):
+    def test_dataset_written(self, artifacts):
+        dataset, _ = artifacts
+        blob = json.loads(dataset.read_text())
+        assert len(blob["samples"]) == 4 * 5 - 1
+        assert blob["feature_parameters"]
+
+
+class TestTrain:
+    def test_surrogate_written(self, artifacts):
+        _, surrogate = artifacts
+        blob = json.loads(surrogate.read_text())
+        assert blob["networks"]
+
+
+class TestRecommend:
+    def test_prints_configuration_json(self, artifacts, capsys):
+        _, surrogate = artifacts
+        rc = main(
+            [
+                "recommend",
+                "--surrogate", str(surrogate),
+                "--read-ratio", "0.9",
+                "--seed", "1",
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["read_ratio"] == 0.9
+        assert payload["predicted_throughput"] > 0
+        assert isinstance(payload["configuration"], dict)
+
+
+class TestReplay:
+    def test_replay_reports_gain(self, artifacts, capsys):
+        _, surrogate = artifacts
+        rc = main(
+            [
+                "replay",
+                "--surrogate", str(surrogate),
+                "--hours", "3",
+                "--seed", "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "static default" in out
+        assert "rafiki" in out
+
+    def test_forecast_mode(self, artifacts, capsys):
+        _, surrogate = artifacts
+        rc = main(
+            [
+                "replay",
+                "--surrogate", str(surrogate),
+                "--hours", "2",
+                "--mode", "forecast",
+                "--seed", "2",
+            ]
+        )
+        assert rc == 0
+
+
+class TestCharacterize:
+    def test_outputs_characterization(self, capsys):
+        rc = main(["characterize", "--hours", "4", "--queries", "300", "--seed", "5"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["windows"] == 16
+        assert 0.0 <= payload["overall_read_ratio"] <= 1.0
+        assert payload["krd_mean_ops"] > 0
+
+
+class TestValidation:
+    def test_unknown_datastore(self, artifacts):
+        _, surrogate = artifacts
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "recommend",
+                    "--datastore", "mongodb",
+                    "--surrogate", str(surrogate),
+                    "--read-ratio", "0.5",
+                ]
+            )
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

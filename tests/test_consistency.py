@@ -1,0 +1,78 @@
+"""Cross-path consistency: the per-operation engine and the batched
+analytic model share one cost model, so they must agree on *ordering*
+and qualitative trends across configurations, even though their absolute
+numbers differ (different scales, real vs expected cache behaviour).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.datastore import CassandraLike
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+def engine_throughput(cassandra, config, rr, seed=7):
+    wl = WorkloadSpec(
+        read_ratio=rr, n_keys=4_000, krd_mean_ops=500.0, value_bytes=120
+    )
+    bench = YCSBBenchmark(cassandra)
+    return bench.run_engine(config, wl, n_ops=4_000, load_keys=2_000, seed=seed).mean_throughput
+
+
+def analytic_throughput(cassandra, config, rr, seed=7):
+    wl = WorkloadSpec(read_ratio=rr, n_keys=2_000_000)
+    bench = YCSBBenchmark(cassandra, run_seconds=120)
+    return bench.run(config, wl, seed=seed).mean_throughput
+
+
+class TestPathConsistency:
+    def test_both_prefer_writes_with_default_config(self, cassandra):
+        cfg = cassandra.default_configuration()
+        assert engine_throughput(cassandra, cfg, 0.1) > engine_throughput(cassandra, cfg, 0.95)
+        assert analytic_throughput(cassandra, cfg, 0.1) > analytic_throughput(cassandra, cfg, 0.95)
+
+    def test_both_see_thread_starvation(self, cassandra):
+        starved = cassandra.space.configuration(concurrent_writes=16)
+        healthy = cassandra.space.configuration(concurrent_writes=32)
+        assert engine_throughput(cassandra, starved, 0.0) < engine_throughput(
+            cassandra, healthy, 0.0
+        )
+        assert analytic_throughput(cassandra, starved, 0.0) < analytic_throughput(
+            cassandra, healthy, 0.0
+        )
+
+    def test_same_magnitude_on_writes(self, cassandra):
+        """Write paths share per-op costs: absolute rates should agree
+        within a small factor (reads differ more: real LRU vs expectation)."""
+        cfg = cassandra.default_configuration()
+        e = engine_throughput(cassandra, cfg, 0.0)
+        a = analytic_throughput(cassandra, cfg, 0.0)
+        assert 0.3 < e / a < 3.0
+
+    def test_rank_correlation_across_configs(self, cassandra):
+        """Spot-check several configs at a mixed workload: the two paths
+        should mostly agree on which configs are better."""
+        configs = [
+            cassandra.default_configuration(),
+            cassandra.space.configuration(concurrent_writes=16),
+            cassandra.space.configuration(compaction_method=LEVELED),
+            cassandra.space.configuration(memtable_cleanup_threshold=0.5),
+        ]
+        e = [engine_throughput(cassandra, c, 0.3) for c in configs]
+        a = [analytic_throughput(cassandra, c, 0.3) for c in configs]
+        # Spearman by hand: correlation of rank vectors.
+        def ranks(v):
+            order = np.argsort(v)
+            r = np.empty(len(v))
+            r[order] = np.arange(len(v))
+            return r
+
+        rho = np.corrcoef(ranks(e), ranks(a))[0, 1]
+        assert rho > 0.3

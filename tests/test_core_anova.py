@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from repro.bench.ycsb import YCSBBenchmark
+from repro.core.anova import (
+    AnovaRanking,
+    ParameterEffect,
+    consolidate_memtable_parameters,
+    rank_parameters,
+    select_key_parameters,
+)
+from repro.datastore import CassandraLike
+from repro.errors import SearchError
+from repro.workload.spec import WorkloadSpec
+
+
+def effect(name, std):
+    return ParameterEffect(name=name, throughput_std=std)
+
+
+class TestAnovaRanking:
+    def test_sorted_descending(self):
+        ranking = AnovaRanking([effect("a", 1.0), effect("b", 5.0), effect("c", 3.0)])
+        assert ranking.names() == ["b", "c", "a"]
+
+    def test_top(self):
+        ranking = AnovaRanking([effect("a", 1.0), effect("b", 5.0)])
+        assert [e.name for e in ranking.top(1)] == ["b"]
+
+    def test_without(self):
+        ranking = AnovaRanking([effect("a", 1.0), effect("b", 5.0)])
+        assert ranking.without(["b"]).names() == ["a"]
+
+    def test_indexing(self):
+        ranking = AnovaRanking([effect("a", 1.0), effect("b", 5.0)])
+        assert ranking[0].name == "b"
+        assert len(ranking) == 2
+
+
+class TestSelectKeyParameters:
+    def test_knee_detected(self):
+        ranking = AnovaRanking(
+            [effect("a", 100), effect("b", 90), effect("c", 80), effect("d", 75),
+             effect("e", 70), effect("f", 5), effect("g", 4)]
+        )
+        assert select_key_parameters(ranking) == ["a", "b", "c", "d", "e"]
+
+    def test_no_knee_falls_back_to_max(self):
+        ranking = AnovaRanking([effect(f"p{i}", 100 - i) for i in range(12)])
+        assert len(select_key_parameters(ranking, max_k=6)) == 6
+
+    def test_short_ranking_returned_whole(self):
+        ranking = AnovaRanking([effect("a", 2.0), effect("b", 1.0)])
+        assert select_key_parameters(ranking) == ["a", "b"]
+
+    def test_min_k_respected(self):
+        ranking = AnovaRanking(
+            [effect("a", 100), effect("b", 1), effect("c", 0.9), effect("d", 0.8)]
+        )
+        selected = select_key_parameters(ranking, min_k=3)
+        assert len(selected) >= 3
+
+
+class TestConsolidation:
+    def test_flush_family_replaced_by_threshold(self):
+        """§4.5: skip the memtable-space params, keep cleanup threshold."""
+        selected = [
+            "compaction_method",
+            "memtable_flush_writers",
+            "memtable_offheap_space_in_mb",
+            "concurrent_writes",
+        ]
+        out = consolidate_memtable_parameters(selected)
+        assert "memtable_flush_writers" not in out
+        assert "memtable_offheap_space_in_mb" not in out
+        assert "memtable_cleanup_threshold" in out
+
+    def test_threshold_not_duplicated(self):
+        selected = ["memtable_cleanup_threshold", "memtable_flush_writers"]
+        out = consolidate_memtable_parameters(selected)
+        assert out.count("memtable_cleanup_threshold") == 1
+
+    def test_no_family_no_change(self):
+        selected = ["compaction_method", "concurrent_writes"]
+        assert consolidate_memtable_parameters(selected) == selected
+
+
+class TestRankParameters:
+    @pytest.fixture(scope="class")
+    def ranking(self):
+        # Realistic dataset scale (a tiny dataset fits in cache and the
+        # compaction/cache mechanisms go silent) and a read-leaning
+        # representative workload, as MG-RAST is "read-heavy most of the
+        # time" (§4.8).
+        cassandra = CassandraLike()
+        return rank_parameters(
+            cassandra,
+            WorkloadSpec(read_ratio=0.75, n_keys=30_000_000),
+            repeats=2,
+            seed=0,
+        )
+
+    def test_mechanism_parameters_beat_plumbing(self, ranking):
+        """Figure 5's structure: compaction/cache/flush parameters carry
+        far more variance than plumbing parameters, whose apparent std is
+        just the ~2% run-to-run measurement noise."""
+        stds = {e.name: e.throughput_std for e in ranking}
+        top = max(stds["compaction_method"], stds["file_cache_size_in_mb"])
+        assert top > 5 * stds["batch_size_warn_threshold_in_kb"]
+        assert top > 5 * stds["dynamic_snitch_update_interval_in_ms"]
+
+    def test_compaction_method_in_top(self, ranking):
+        assert "compaction_method" in ranking.names()[:6]
+
+    def test_significance_flags(self, ranking):
+        by_name = {e.name: e for e in ranking}
+        assert by_name["compaction_method"].significant
+        assert not by_name["range_request_timeout_in_ms"].significant
+
+    def test_all_parameters_ranked(self, ranking):
+        assert len(ranking) == 25
+
+    def test_effects_have_level_means(self, ranking):
+        for e in ranking.top(3):
+            assert len(e.level_means) == len(e.values) >= 2
+
+    def test_repeats_validation(self):
+        cassandra = CassandraLike()
+        with pytest.raises(SearchError):
+            rank_parameters(
+                cassandra, WorkloadSpec(read_ratio=0.5), repeats=0
+            )

@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.core.controller import OnlineController
+from repro.datastore import CassandraLike
+from repro.errors import SearchError
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=2_000_000)
+
+
+class FakeRafiki:
+    """Recommends leveled+big-cache for reads, defaults for writes."""
+
+    def __init__(self, datastore):
+        self.datastore = datastore
+        self.calls = []
+
+    def recommend(self, read_ratio, use_cache=True):
+        self.calls.append(read_ratio)
+        from repro.core.search import OptimizationResult
+
+        if read_ratio >= 0.5:
+            config = self.datastore.space.configuration(
+                compaction_method="LeveledCompactionStrategy",
+                file_cache_size_in_mb=2048,
+            )
+        else:
+            config = self.datastore.default_configuration()
+        return OptimizationResult(
+            configuration=config,
+            predicted_throughput=0.0,
+            evaluations=1,
+            equivalent_wall_seconds=0.0,
+            strategy="fake",
+        )
+
+
+class TestOnlineController:
+    def test_empty_series_rejected(self, cassandra, workload):
+        ctrl = OnlineController(cassandra, None, workload, window_seconds=60)
+        with pytest.raises(SearchError):
+            ctrl.run([])
+
+    def test_baseline_never_reconfigures(self, cassandra, workload):
+        ctrl = OnlineController(cassandra, None, workload, window_seconds=60)
+        run = ctrl.run([0.1, 0.9, 0.5], load=False)
+        assert run.reconfiguration_count == 0
+        assert len(run.events) == 3
+
+    def test_reconfigures_on_regime_change(self, cassandra, workload):
+        rafiki = FakeRafiki(cassandra)
+        ctrl = OnlineController(
+            cassandra, rafiki, workload, window_seconds=60, rr_change_threshold=0.1
+        )
+        run = ctrl.run([0.1, 0.1, 0.9, 0.9], load=False)
+        # First window always consults; then only the 0.1 -> 0.9 jump.
+        assert run.reconfiguration_count >= 1
+        assert any(e.reconfigured for e in run.events[2:])
+
+    def test_small_wobble_ignored(self, cassandra, workload):
+        rafiki = FakeRafiki(cassandra)
+        ctrl = OnlineController(
+            cassandra, rafiki, workload, window_seconds=60, rr_change_threshold=0.2
+        )
+        ctrl.run([0.50, 0.55, 0.52, 0.58], load=False)
+        assert len(rafiki.calls) == 1  # only the first window
+
+    def test_events_record_throughput(self, cassandra, workload):
+        ctrl = OnlineController(cassandra, None, workload, window_seconds=60)
+        run = ctrl.run([0.5, 0.5], load=False)
+        assert all(e.mean_throughput > 0 for e in run.events)
+        assert run.mean_throughput > 0
+
+    def test_rr_clipped(self, cassandra, workload):
+        ctrl = OnlineController(cassandra, None, workload, window_seconds=60)
+        run = ctrl.run([1.4, -0.2], load=False)
+        assert run.events[0].read_ratio == 1.0
+        assert run.events[1].read_ratio == 0.0
+
+    def test_reconfiguration_penalty_reduces_window(self, cassandra, workload):
+        rafiki = FakeRafiki(cassandra)
+        slow = OnlineController(
+            cassandra, rafiki, workload, window_seconds=60,
+            reconfiguration_penalty_s=30.0, seed=7,
+        )
+        run_slow = slow.run([0.9], load=False)
+        fast = OnlineController(
+            cassandra, FakeRafiki(cassandra), workload, window_seconds=60,
+            reconfiguration_penalty_s=0.0, seed=7,
+        )
+        run_fast = fast.run([0.9], load=False)
+        assert run_slow.events[0].mean_throughput < run_fast.events[0].mean_throughput

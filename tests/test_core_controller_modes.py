@@ -1,0 +1,118 @@
+"""Decision-mode behaviour of the online controller."""
+
+import numpy as np
+import pytest
+
+from repro.core.controller import OnlineController
+from repro.datastore import CassandraLike
+from repro.errors import SearchError
+from repro.workload.forecast import LastValueForecaster, MarkovRegimeForecaster
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=2_000_000)
+
+
+class RecordingRafiki:
+    """Records the RRs it was asked about; returns the default config."""
+
+    def __init__(self, datastore):
+        self.datastore = datastore
+        self.asked = []
+
+    def recommend(self, read_ratio, use_cache=True):
+        from repro.core.search import OptimizationResult
+
+        self.asked.append(round(read_ratio, 4))
+        return OptimizationResult(
+            configuration=self.datastore.default_configuration(),
+            predicted_throughput=0.0,
+            evaluations=1,
+            equivalent_wall_seconds=0.0,
+            strategy="recording",
+        )
+
+
+class TestDecisionModes:
+    def test_invalid_mode_rejected(self, cassandra, workload):
+        with pytest.raises(SearchError):
+            OnlineController(cassandra, None, workload, decision_mode="psychic")
+
+    def test_forecast_mode_needs_forecaster(self, cassandra, workload):
+        with pytest.raises(SearchError):
+            OnlineController(cassandra, None, workload, decision_mode="forecast")
+
+    def test_oracle_sees_current_window(self, cassandra, workload):
+        rafiki = RecordingRafiki(cassandra)
+        ctrl = OnlineController(
+            cassandra, rafiki, workload, window_seconds=30,
+            rr_change_threshold=0.01, decision_mode="oracle",
+        )
+        ctrl.run([0.2, 0.8], load=False)
+        assert rafiki.asked == [0.2, 0.8]
+
+    def test_reactive_lags_one_window(self, cassandra, workload):
+        rafiki = RecordingRafiki(cassandra)
+        ctrl = OnlineController(
+            cassandra, rafiki, workload, window_seconds=30,
+            rr_change_threshold=0.01, decision_mode="reactive",
+        )
+        ctrl.run([0.2, 0.8, 0.8], load=False)
+        # First window: no information yet -> no consult.  Then it uses
+        # the previous window's RR.
+        assert rafiki.asked == [0.2, 0.8]
+
+    def test_forecast_consults_prediction(self, cassandra, workload):
+        rafiki = RecordingRafiki(cassandra)
+        forecaster = LastValueForecaster(initial=0.5)
+        ctrl = OnlineController(
+            cassandra, rafiki, workload, window_seconds=30,
+            rr_change_threshold=0.01, decision_mode="forecast",
+            forecaster=forecaster,
+        )
+        ctrl.run([0.2, 0.9], load=False)
+        # Window 0: the prior (0.5); window 1: last value (0.2).
+        assert rafiki.asked == [0.5, 0.2]
+
+    def test_forecaster_updated_with_observations(self, cassandra, workload):
+        forecaster = MarkovRegimeForecaster()
+        ctrl = OnlineController(
+            cassandra, None, workload, window_seconds=30,
+            decision_mode="forecast", forecaster=forecaster,
+        )
+        ctrl.run([0.9, 0.9, 0.9], load=False)
+        assert forecaster.predict() > 0.6
+
+    def test_forecast_mode_skips_downtime(self, cassandra, workload):
+        """Proactive reconfiguration at the boundary costs no window time."""
+
+        class SwitchingRafiki(RecordingRafiki):
+            def recommend(self, read_ratio, use_cache=True):
+                result = super().recommend(read_ratio)
+                if read_ratio > 0.5:
+                    result.configuration = self.datastore.space.configuration(
+                        file_cache_size_in_mb=1024
+                    )
+                return result
+
+        def run_mode(mode, forecaster=None):
+            ctrl = OnlineController(
+                cassandra, SwitchingRafiki(cassandra), workload,
+                window_seconds=30, rr_change_threshold=0.01,
+                reconfiguration_penalty_s=15.0, decision_mode=mode,
+                forecaster=forecaster, seed=3,
+            )
+            return ctrl.run([0.2, 0.9], load=False)
+
+        reactive = run_mode("oracle")
+        proactive = run_mode("forecast", LastValueForecaster(initial=0.2))
+        # Note: both switch configurations; only the oracle/reactive one
+        # pays the in-window penalty.
+        assert proactive.events[-1].mean_throughput >= reactive.events[-1].mean_throughput

@@ -1,0 +1,121 @@
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench.dataset import PerformanceDataset, PerformanceSample
+from repro.config import CASSANDRA_KEY_PARAMETERS, cassandra_space
+from repro.core.persistence import (
+    load_surrogate,
+    save_surrogate,
+    surrogate_from_dict,
+    surrogate_to_dict,
+)
+from repro.core.surrogate import SurrogateModel
+from repro.errors import TrainingError
+from repro.ml.ensemble import EnsembleConfig
+from repro.workload.spec import WorkloadSpec
+
+PARAMS = list(CASSANDRA_KEY_PARAMETERS)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return cassandra_space()
+
+
+@pytest.fixture(scope="module")
+def fitted(space):
+    rng = np.random.default_rng(0)
+    samples = []
+    for _ in range(10):
+        config = space.sample_configuration(rng, PARAMS)
+        for rr in (0.0, 0.5, 1.0):
+            samples.append(
+                PerformanceSample(
+                    workload=WorkloadSpec(read_ratio=rr),
+                    configuration=config,
+                    throughput=50_000 + 10_000 * rr + float(rng.normal(0, 500)),
+                )
+            )
+    dataset = PerformanceDataset(samples, PARAMS)
+    model = SurrogateModel(space, PARAMS, EnsembleConfig(n_networks=3, max_epochs=40))
+    return model.fit(dataset, seed=4)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_predictions(self, fitted, space):
+        restored = surrogate_from_dict(surrogate_to_dict(fitted), space)
+        probe = fitted.encode(0.7, space.default_configuration())[None, :]
+        assert np.allclose(
+            fitted.predict_features(probe), restored.predict_features(probe)
+        )
+
+    def test_file_round_trip(self, fitted, space, tmp_path):
+        path = tmp_path / "model" / "surrogate.json"
+        save_surrogate(fitted, path)
+        restored = load_surrogate(path, space)
+        for rr in (0.0, 0.5, 1.0):
+            cfg = space.default_configuration()
+            assert fitted.predict(rr, cfg) == pytest.approx(restored.predict(rr, cfg))
+
+    def test_artifact_is_json(self, fitted, tmp_path):
+        path = tmp_path / "s.json"
+        save_surrogate(fitted, path)
+        blob = json.loads(path.read_text())
+        assert blob["format_version"] == 1
+        assert blob["feature_parameters"] == PARAMS
+
+    def test_restored_usable_by_optimizer(self, fitted, space, tmp_path):
+        from repro.core.search import ConfigurationOptimizer
+
+        path = tmp_path / "s.json"
+        save_surrogate(fitted, path)
+        restored = load_surrogate(path, space)
+        result = ConfigurationOptimizer(restored).optimize(0.9, seed=0)
+        assert result.predicted_throughput > 0
+
+
+class TestRafikiSaveLoad:
+    def test_round_trip_recommendations_match(self, fitted, space, tmp_path):
+        from repro.core.rafiki import Rafiki
+        from repro.datastore import CassandraLike
+
+        cassandra = CassandraLike()
+        rafiki = Rafiki(cassandra, fitted, PARAMS, seed=9)
+        path = tmp_path / "rafiki.json"
+        rafiki.save(path)
+        restored = Rafiki.load(path, cassandra, seed=9)
+        a = rafiki.recommend(0.8)
+        b = restored.recommend(0.8)
+        assert a.configuration == b.configuration
+        assert a.predicted_throughput == pytest.approx(b.predicted_throughput)
+
+
+class TestValidation:
+    def test_unfitted_rejected(self, space):
+        model = SurrogateModel(space, PARAMS)
+        with pytest.raises(TrainingError):
+            surrogate_to_dict(model)
+
+    def test_unknown_version_rejected(self, fitted, space):
+        blob = surrogate_to_dict(fitted)
+        blob["format_version"] = 99
+        with pytest.raises(TrainingError):
+            surrogate_from_dict(blob, space)
+
+    def test_space_must_cover_features(self, fitted):
+        from repro.config.parameter import FloatParameter
+        from repro.config.space import ConfigurationSpace
+
+        tiny = ConfigurationSpace(
+            "tiny", [FloatParameter(name="x", default=0.5, low=0.0, high=1.0)]
+        )
+        with pytest.raises(TrainingError):
+            surrogate_from_dict(surrogate_to_dict(fitted), tiny)
+
+    def test_empty_networks_rejected(self, fitted, space):
+        blob = surrogate_to_dict(fitted)
+        blob["networks"] = []
+        with pytest.raises(TrainingError):
+            surrogate_from_dict(blob, space)

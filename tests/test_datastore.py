@@ -1,0 +1,195 @@
+import numpy as np
+import pytest
+
+from repro.datastore import CassandraLike, Cluster, ScyllaLike
+from repro.datastore.cluster import SHOOTER_CAPACITY_OPS
+from repro.datastore.scylla import ScyllaAutotuner
+from repro.errors import DatastoreError
+from repro.lsm.analytic import AnalyticLSMModel
+from repro.lsm.engine import LSMEngine
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def scylla():
+    return ScyllaLike()
+
+
+class TestCassandraLike:
+    def test_space_and_key_parameters(self, cassandra):
+        assert len(cassandra.key_parameters) == 5
+        assert all(p in cassandra.space for p in cassandra.key_parameters)
+
+    def test_knobs_honour_configuration(self, cassandra):
+        cfg = cassandra.space.configuration(concurrent_writes=64)
+        assert cassandra.effective_knobs(cfg).concurrent_writes == 64
+
+    def test_new_analytic_instance(self, cassandra):
+        model = cassandra.new_analytic_instance(cassandra.default_configuration())
+        assert isinstance(model, AnalyticLSMModel)
+
+    def test_new_engine_instance(self, cassandra):
+        engine = cassandra.new_engine_instance(cassandra.default_configuration())
+        assert isinstance(engine, LSMEngine)
+        engine.put("k", b"v")
+        assert engine.get("k") == b"v"
+
+    def test_instances_independent(self, cassandra):
+        a = cassandra.new_analytic_instance(cassandra.default_configuration(), seed=1)
+        b = cassandra.new_analytic_instance(cassandra.default_configuration(), seed=1)
+        a.step(0.5)
+        assert b.t == 0.0
+
+
+class TestScyllaLike:
+    def test_autotuner_overrides_user_values(self, scylla):
+        """§4.10: 'user settings ... are ignored by ScyllaDB'."""
+        lo = scylla.space.configuration(concurrent_writes=16)
+        hi = scylla.space.configuration(concurrent_writes=96)
+        assert (
+            scylla.effective_knobs(lo).concurrent_writes
+            == scylla.effective_knobs(hi).concurrent_writes
+        )
+
+    def test_non_autotuned_values_respected(self, scylla):
+        cfg = scylla.space.configuration(memtable_cleanup_threshold=0.4)
+        assert scylla.effective_knobs(cfg).memtable_cleanup_threshold == pytest.approx(0.4)
+
+    def test_throughput_oscillates(self, scylla):
+        model = scylla.new_analytic_instance(scylla.default_configuration(), seed=2)
+        model.load(1_000_000)
+        tps = [r.throughput for r in model.run(0.7, 200)]
+        cov = np.std(tps) / np.mean(tps)
+        assert cov > 0.05
+
+    def test_scylla_noisier_than_cassandra(self, scylla, cassandra):
+        """Figure 10: ScyllaDB fluctuates much more than Cassandra."""
+        def cov(store, seed):
+            m = store.new_analytic_instance(store.default_configuration(), seed=seed)
+            m.load(1_000_000)
+            m.cache_age = 1000.0
+            tps = [r.throughput for r in m.run(0.7, 300)]
+            return np.std(tps) / np.mean(tps)
+
+        scylla_cov = np.mean([cov(scylla, s) for s in range(3)])
+        cassandra_cov = np.mean([cov(cassandra, s) for s in range(3)])
+        assert scylla_cov > 1.5 * cassandra_cov
+
+    def test_tuner_realization_depends_on_config(self, scylla):
+        a = scylla.new_analytic_instance(scylla.default_configuration(), seed=1)
+        b = scylla.new_analytic_instance(
+            scylla.space.configuration(memtable_cleanup_threshold=0.33), seed=1
+        )
+        ta = [a.autotuner.multiplier(t) for t in range(0, 500, 10)]
+        tb = [b.autotuner.multiplier(t) for t in range(0, 500, 10)]
+        assert ta != tb
+
+
+class TestScyllaAutotuner:
+    def test_piecewise_constant(self):
+        tuner = ScyllaAutotuner(seed=3)
+        m0 = tuner.multiplier(0.0)
+        m1 = tuner.multiplier(0.001)
+        assert m0 == m1
+
+    def test_levels_bounded(self):
+        tuner = ScyllaAutotuner(seed=4)
+        levels = [tuner.multiplier(float(t)) for t in range(0, 2000, 5)]
+        assert min(levels) >= 0.55
+        assert max(levels) <= 1.6
+
+    def test_levels_change_over_time(self):
+        tuner = ScyllaAutotuner(seed=5)
+        levels = {round(tuner.multiplier(float(t)), 6) for t in range(0, 2000, 5)}
+        assert len(levels) > 5
+
+
+class TestCluster:
+    def test_validation(self, cassandra):
+        cfg = cassandra.default_configuration()
+        with pytest.raises(DatastoreError):
+            Cluster(cassandra, cfg, n_nodes=0)
+        with pytest.raises(DatastoreError):
+            Cluster(cassandra, cfg, n_nodes=2, replication_factor=3)
+        with pytest.raises(DatastoreError):
+            Cluster(cassandra, cfg, n_nodes=1, n_shooters=0)
+
+    def test_two_nodes_rf1_scale_reads(self, cassandra):
+        cfg = cassandra.default_configuration()
+        single = Cluster(cassandra, cfg, n_nodes=1, n_shooters=2, seed=1)
+        double = Cluster(cassandra, cfg, n_nodes=2, n_shooters=2, seed=1)
+        for c in (single, double):
+            c.load(1_000_000)
+            c.settle()
+            for n in c.nodes:
+                n.cache_age = 1000.0
+        assert double.sustainable_throughput(1.0) > 1.5 * single.sustainable_throughput(1.0)
+
+    def test_replication_taxes_writes(self, cassandra):
+        """RF=2 means every write lands twice; write-heavy barely gains
+        from the second server (the paper's Table 3 RR=10% row)."""
+        cfg = cassandra.default_configuration()
+        rf1 = Cluster(cassandra, cfg, n_nodes=2, replication_factor=1, n_shooters=2, seed=1)
+        rf2 = Cluster(cassandra, cfg, n_nodes=2, replication_factor=2, n_shooters=2, seed=1)
+        for c in (rf1, rf2):
+            c.load(1_000_000)
+        assert rf2.sustainable_throughput(0.0) < rf1.sustainable_throughput(0.0)
+
+    def test_shooter_capacity_caps(self, cassandra):
+        cfg = cassandra.default_configuration()
+        cluster = Cluster(cassandra, cfg, n_nodes=2, n_shooters=1, seed=1)
+        cluster.load(1_000_000)
+        assert cluster.sustainable_throughput(0.0) <= SHOOTER_CAPACITY_OPS
+
+    def test_step_and_run(self, cassandra):
+        cfg = cassandra.default_configuration()
+        cluster = Cluster(cassandra, cfg, n_nodes=2, replication_factor=2, n_shooters=2, seed=1)
+        cluster.load(500_000)
+        results = cluster.run(0.5, duration=20)
+        assert len(results) == 20
+        assert all(r.throughput > 0 for r in results)
+        assert cluster.t == pytest.approx(20.0)
+
+    def test_consistency_level_validated(self, cassandra):
+        cfg = cassandra.default_configuration()
+        with pytest.raises(DatastoreError):
+            Cluster(cassandra, cfg, n_nodes=2, consistency_level="MOST")
+
+    def test_quorum_read_fanout(self, cassandra):
+        cfg = cassandra.default_configuration()
+        cluster = Cluster(
+            cassandra, cfg, n_nodes=3, replication_factor=3,
+            consistency_level="QUORUM", seed=1,
+        )
+        assert cluster.read_fanout == 2
+        cluster.consistency_level = "ALL"
+        assert cluster.read_fanout == 3
+        cluster.consistency_level = "ONE"
+        assert cluster.read_fanout == 1
+
+    def test_stronger_consistency_lowers_read_throughput(self, cassandra):
+        cfg = cassandra.default_configuration()
+
+        def throughput(cl):
+            cluster = Cluster(
+                cassandra, cfg, n_nodes=3, replication_factor=3,
+                n_shooters=3, consistency_level=cl, seed=1,
+            )
+            cluster.load(1_000_000)
+            cluster.settle()
+            for n in cluster.nodes:
+                n.cache_age = 1000.0
+            return cluster.sustainable_throughput(1.0)
+
+        assert throughput("ONE") > throughput("QUORUM") > throughput("ALL")
+
+    def test_nodes_absorb_replicated_writes(self, cassandra):
+        cfg = cassandra.default_configuration()
+        cluster = Cluster(cassandra, cfg, n_nodes=2, replication_factor=2, n_shooters=2, seed=1)
+        cluster.run(0.0, duration=120)
+        assert all(n.memtable_bytes > 0 or n.total_flushes > 0 for n in cluster.nodes)

@@ -1,0 +1,67 @@
+"""End-to-end determinism: the same seed reproduces every artifact —
+dataset, model predictions, and the chosen configuration."""
+
+import numpy as np
+import pytest
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.search import ConfigurationOptimizer
+from repro.core.surrogate import SurrogateModel
+from repro.datastore import CassandraLike
+from repro.ml.ensemble import EnsembleConfig
+from repro.workload.mgrast import MGRastTraceGenerator
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+def build_pipeline_artifacts(cassandra, seed):
+    wl = WorkloadSpec(read_ratio=0.5, n_keys=1_000_000)
+    campaign = DataCollectionCampaign(
+        cassandra,
+        wl,
+        key_parameters=CASSANDRA_KEY_PARAMETERS,
+        n_workloads=4,
+        n_configurations=5,
+        n_faulty=1,
+        benchmark=YCSBBenchmark(cassandra, run_seconds=20),
+        seed=seed,
+    )
+    dataset = campaign.run()
+    surrogate = SurrogateModel(
+        cassandra.space,
+        CASSANDRA_KEY_PARAMETERS,
+        EnsembleConfig(n_networks=2, max_epochs=30),
+    ).fit(dataset, seed=seed)
+    result = ConfigurationOptimizer(surrogate).optimize(0.8, seed=seed)
+    return dataset, surrogate, result
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, cassandra):
+        d1, s1, r1 = build_pipeline_artifacts(cassandra, seed=11)
+        d2, s2, r2 = build_pipeline_artifacts(cassandra, seed=11)
+        assert np.allclose(d1.targets(), d2.targets())
+        probe = s1.encode(0.5, cassandra.default_configuration())[None, :]
+        assert np.allclose(s1.predict_features(probe), s2.predict_features(probe))
+        assert r1.configuration == r2.configuration
+        assert r1.predicted_throughput == pytest.approx(r2.predicted_throughput)
+
+    def test_different_seeds_differ(self, cassandra):
+        d1, _, _ = build_pipeline_artifacts(cassandra, seed=11)
+        d2, _, _ = build_pipeline_artifacts(cassandra, seed=12)
+        assert not np.allclose(d1.targets(), d2.targets())
+
+    def test_trace_generation_reproducible(self):
+        t1 = MGRastTraceGenerator(seed=3, queries_per_window=50).generate(3600)
+        t2 = MGRastTraceGenerator(seed=3, queries_per_window=50).generate(3600)
+        assert len(t1) == len(t2)
+        assert all(
+            a.timestamp == b.timestamp and a.kind == b.kind and a.key == b.key
+            for a, b in zip(t1, t2)
+        )

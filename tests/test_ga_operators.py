@@ -1,0 +1,74 @@
+import numpy as np
+import pytest
+
+from repro.ga.operators import (
+    gaussian_mutation,
+    tournament_select,
+    weighted_average_crossover,
+)
+
+
+class TestCrossover:
+    def test_child_within_parent_hull(self, rng):
+        a = np.array([0.0, 10.0, 5.0])
+        b = np.array([10.0, 0.0, 5.0])
+        for _ in range(50):
+            child = weighted_average_crossover(a, b, rng)
+            assert np.all(child >= np.minimum(a, b) - 1e-12)
+            assert np.all(child <= np.maximum(a, b) + 1e-12)
+
+    def test_identical_parents_identical_child(self, rng):
+        a = np.array([3.0, 4.0])
+        child = weighted_average_crossover(a, a.copy(), rng)
+        assert np.allclose(child, a)
+
+    def test_per_gene_weights(self, rng):
+        """Each gene gets its own weight (not a single shared r)."""
+        a = np.zeros(64)
+        b = np.ones(64)
+        child = weighted_average_crossover(a, b, rng)
+        assert child.std() > 0.05
+
+
+class TestMutation:
+    def test_respects_bounds(self, rng):
+        lower, upper = np.zeros(4), np.ones(4)
+        genes = np.full(4, 0.5)
+        for _ in range(100):
+            m = gaussian_mutation(genes, lower, upper, rng, rate=1.0, scale=2.0)
+            assert np.all(m >= lower) and np.all(m <= upper)
+
+    def test_zero_rate_no_change(self, rng):
+        genes = np.array([0.3, 0.7])
+        m = gaussian_mutation(genes, np.zeros(2), np.ones(2), rng, rate=0.0)
+        assert np.array_equal(m, genes)
+
+    def test_does_not_mutate_input_in_place(self, rng):
+        genes = np.array([0.5, 0.5])
+        original = genes.copy()
+        gaussian_mutation(genes, np.zeros(2), np.ones(2), rng, rate=1.0)
+        assert np.array_equal(genes, original)
+
+    def test_scale_controls_step(self, rng):
+        genes = np.full(1000, 0.5)
+        small = gaussian_mutation(genes, np.zeros(1000), np.ones(1000), rng, rate=1.0, scale=0.01)
+        large = gaussian_mutation(genes, np.zeros(1000), np.ones(1000), rng, rate=1.0, scale=0.2)
+        assert np.abs(small - 0.5).mean() < np.abs(large - 0.5).mean()
+
+
+class TestTournament:
+    def test_picks_best_when_k_covers_all(self, rng):
+        fitness = [1.0, 5.0, 3.0]
+        winners = {tournament_select(fitness, rng, k=3) for _ in range(100)}
+        assert 1 in winners  # the best must win at least sometimes
+        counts = [0, 0, 0]
+        for _ in range(300):
+            counts[tournament_select(fitness, rng, k=3)] += 1
+        assert counts[1] > counts[0]
+
+    def test_single_individual(self, rng):
+        assert tournament_select([42.0], rng) == 0
+
+    def test_empty_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tournament_select([], rng)

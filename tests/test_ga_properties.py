@@ -1,0 +1,73 @@
+"""Property-based tests on GA invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import CASSANDRA_KEY_PARAMETERS, cassandra_space
+from repro.ga.algorithm import GeneticAlgorithm
+from repro.ga.constraints import penalized_fitness
+from repro.ga.encoding import ConfigurationEncoder
+from repro.ga.operators import weighted_average_crossover
+
+SPACE = cassandra_space()
+ENCODER = ConfigurationEncoder(SPACE, CASSANDRA_KEY_PARAMETERS)
+
+
+class TestGaInvariants:
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_result_always_feasible(self, seed):
+        """Whatever the fitness landscape, the returned configuration is
+        valid (integral, in bounds)."""
+        rng = np.random.default_rng(seed)
+        weights = rng.standard_normal(ENCODER.n_genes)
+
+        def fitness(genes):
+            return float(weights @ genes)
+
+        ga = GeneticAlgorithm(ENCODER, fitness, population_size=12, generations=6)
+        result = ga.run(seed=seed)
+        for name in ENCODER.names:
+            SPACE[name].validate(result.best_configuration[name])
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        violation=st.floats(min_value=0.001, max_value=10.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_penalty_strictly_reduces_fitness(self, seed, violation):
+        rng = np.random.default_rng(seed)
+        raw = float(rng.normal(0, 100))
+        scale = float(rng.uniform(1, 1000))
+        assert penalized_fitness(raw, violation, scale) < raw
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40, deadline=None)
+    def test_crossover_children_stay_in_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        a = ENCODER.random_genes(rng)
+        b = ENCODER.random_genes(rng)
+        child = weighted_average_crossover(a, b, rng)
+        assert np.all(child >= ENCODER.lower - 1e-9)
+        assert np.all(child <= ENCODER.upper + 1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_more_generations_never_worse(self, seed):
+        rng = np.random.default_rng(seed)
+        target = ENCODER.random_genes(rng)
+
+        def fitness(genes):
+            return -float(np.sum((genes - target) ** 2))
+
+        short = GeneticAlgorithm(
+            ENCODER, fitness, population_size=12, generations=3,
+            stagnation_limit=10**9,
+        ).run(seed=seed)
+        long = GeneticAlgorithm(
+            ENCODER, fitness, population_size=12, generations=25,
+            stagnation_limit=10**9,
+        ).run(seed=seed)
+        assert long.best_fitness >= short.best_fitness - 1e-9

@@ -1,0 +1,242 @@
+import numpy as np
+import pytest
+
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.lsm.analytic import AnalyticLSMModel, WorkloadProfile, _soft_min
+
+from tests.conftest import make_knobs
+
+MB = 1024 * 1024
+
+
+def make_model(seed=1, noise=0.0, bias=0.0, **knob_overrides):
+    # Production-scale knobs: the analytic model is meant for the real
+    # hardware spec, unlike the per-op engine tests.
+    from repro.config import cassandra_space
+    from repro.lsm.knobs import EngineKnobs
+
+    cfg = cassandra_space().configuration(**knob_overrides)
+    return AnalyticLSMModel(
+        EngineKnobs.from_configuration(cfg),
+        seed=seed,
+        noise_sigma=noise,
+        run_bias_sigma=bias,
+    )
+
+
+class TestSoftMin:
+    def test_single_value(self):
+        assert _soft_min([5.0]) == pytest.approx(5.0)
+
+    def test_close_to_min(self):
+        assert _soft_min([100.0, 1e9]) == pytest.approx(100.0, rel=0.01)
+
+    def test_below_hard_min_when_caps_close(self):
+        assert _soft_min([100.0, 100.0]) < 100.0
+
+    def test_ignores_infinity(self):
+        assert np.isfinite(_soft_min([50.0, float("inf")]))
+
+    def test_all_infinite(self):
+        assert _soft_min([float("inf")]) == float("inf")
+
+
+class TestStepping:
+    def test_step_advances_time(self):
+        m = make_model()
+        m.step(0.5, dt=2.0)
+        assert m.t == pytest.approx(2.0)
+
+    def test_step_rejects_bad_inputs(self):
+        m = make_model()
+        with pytest.raises(ValueError):
+            m.step(0.5, dt=0.0)
+        with pytest.raises(ValueError):
+            m.step(1.5)
+
+    def test_throughput_positive(self):
+        m = make_model()
+        assert m.step(0.5).throughput > 0
+
+    def test_run_returns_requested_steps(self):
+        m = make_model()
+        assert len(m.run(0.5, duration=30, dt=1.0)) == 30
+
+    def test_writes_fill_memtable_and_flush(self):
+        m = make_model()
+        m.run(0.0, duration=120)
+        assert m.total_flushes >= 1
+        assert m.sstable_count >= 1
+
+    def test_pure_reads_no_flushes(self):
+        m = make_model()
+        m.run(1.0, duration=60)
+        assert m.total_flushes == 0
+
+    def test_dataset_grows_with_inserts_only(self):
+        m = make_model()
+        before = m.dataset_bytes
+        m.run(0.0, duration=30)
+        grown = m.dataset_bytes
+        assert grown > before
+        # Updates don't grow the dataset.
+        m.profile.update_fraction = 1.0
+        m.run(0.0, duration=30)
+        assert m.dataset_bytes == pytest.approx(grown)
+
+    def test_apply_external_load(self):
+        m = make_model()
+        m.apply_external_load(reads=1000, writes=50_000, dt=1.0)
+        assert m.total_ops == 51_000
+        with pytest.raises(ValueError):
+            m.apply_external_load(reads=-1, writes=0, dt=1.0)
+
+    def test_load_reaches_target(self):
+        m = make_model()
+        m.load(1_000_000)
+        assert m.dataset_bytes >= 1_000_000 * m.profile.record_bytes * 0.99
+
+
+class TestThroughputShape:
+    """The qualitative relationships the paper's tuning exploits."""
+
+    def test_default_write_heavy_beats_read_heavy(self):
+        m = make_model()
+        m.load(5_000_000)
+        m.settle()
+        m.cache_age = 1000.0
+        assert m.sustainable_throughput(0.0) > m.sustainable_throughput(1.0)
+
+    def test_more_tables_slower_reads(self):
+        a = make_model()
+        a.load(5_000_000)
+        a.st_tables = [100 * MB] * 3
+        b = make_model()
+        b.load(5_000_000)
+        b.st_tables = [100 * MB] * 30
+        a.cache_age = b.cache_age = 1000.0
+        assert a.sustainable_throughput(1.0) > b.sustainable_throughput(1.0)
+
+    def test_bigger_cache_faster_reads(self):
+        small = make_model(file_cache_size_in_mb=32)
+        big = make_model(file_cache_size_in_mb=2048)
+        for m in (small, big):
+            m.load(5_000_000)
+            m.settle()
+            m.cache_age = 1000.0
+        assert big.sustainable_throughput(1.0) > small.sustainable_throughput(1.0)
+
+    def test_leveled_beats_size_tiered_on_reads(self):
+        st_model = make_model(compaction_method=SIZE_TIERED)
+        lv_model = make_model(compaction_method=LEVELED)
+        for m in (st_model, lv_model):
+            m.load(5_000_000)
+            m.settle(max_seconds=2000)
+            m.cache_age = 1000.0
+        assert lv_model.sustainable_throughput(0.95) > st_model.sustainable_throughput(0.95)
+
+    def test_size_tiered_beats_leveled_on_writes(self):
+        st_tp = np.mean([r.throughput for r in _loaded(SIZE_TIERED).run(0.05, 120)])
+        lv_tp = np.mean([r.throughput for r in _loaded(LEVELED).run(0.05, 120)])
+        assert st_tp > lv_tp
+
+    def test_compaction_backlog_throttles(self):
+        starved = make_model(compaction_throughput_mb_per_sec=8, concurrent_compactors=1)
+        healthy = make_model(compaction_throughput_mb_per_sec=32, concurrent_compactors=4)
+        for m in (starved, healthy):
+            m.load(5_000_000)
+            m.run(0.5, duration=120)
+        assert starved.sstable_count >= healthy.sstable_count
+
+
+class TestLatencies:
+    def test_pure_reads_have_no_write_latency(self):
+        m = make_model()
+        m.load(1_000_000)
+        step = m.step(1.0)
+        assert step.write_latency_s == 0.0
+        assert step.read_latency_s > 0.0
+
+    def test_latency_at_least_service_time(self):
+        m = make_model()
+        m.load(1_000_000)
+        step = m.step(0.5)
+        assert step.read_latency_s >= m.costs.read_thread_hold
+        assert step.write_latency_s >= m.costs.write_thread_hold
+
+    def test_slower_reads_higher_latency(self):
+        """A starved cache raises read latency along with lowering
+        throughput (Little's law, fixed pool)."""
+        fast = make_model(file_cache_size_in_mb=2048)
+        slow = make_model(file_cache_size_in_mb=32)
+        for m in (fast, slow):
+            m.load(5_000_000)
+            m.settle()
+            m.cache_age = 1000.0
+        assert slow.step(1.0).read_latency_s > fast.step(1.0).read_latency_s
+
+
+class TestReconfigure:
+    def test_switch_to_leveled_restructures(self):
+        m = make_model()
+        m.load(3_000_000)
+        from repro.lsm.knobs import EngineKnobs
+        from repro.config import cassandra_space
+
+        cfg = cassandra_space().configuration(compaction_method=LEVELED)
+        m.reconfigure(EngineKnobs.from_configuration(cfg))
+        assert m.is_leveled
+        assert sum(m.level_bytes[1:]) > 0
+        assert m.st_tables == []
+
+    def test_switch_back_to_size_tiered(self):
+        m = make_model(compaction_method=LEVELED)
+        m.load(3_000_000)
+        from repro.lsm.knobs import EngineKnobs
+        from repro.config import cassandra_space
+
+        cfg = cassandra_space().configuration(compaction_method=SIZE_TIERED)
+        m.reconfigure(EngineKnobs.from_configuration(cfg))
+        assert not m.is_leveled
+        assert sum(m.level_bytes[1:]) == 0
+        assert sum(m.st_tables) > 0
+
+    def test_cache_resize_loses_some_warmth(self):
+        m = make_model()
+        m.cache_age = 1000.0
+        from repro.lsm.knobs import EngineKnobs
+        from repro.config import cassandra_space
+
+        cfg = cassandra_space().configuration(file_cache_size_in_mb=1024)
+        m.reconfigure(EngineKnobs.from_configuration(cfg))
+        assert m.cache_age < 1000.0
+
+
+class TestDeterminismAndNoise:
+    def test_zero_noise_deterministic(self):
+        a = make_model(seed=5)
+        b = make_model(seed=5)
+        for m in (a, b):
+            m.load(1_000_000)
+        ra = [r.throughput for r in a.run(0.5, 30)]
+        rb = [r.throughput for r in b.run(0.5, 30)]
+        assert ra == rb
+
+    def test_run_bias_applied_once(self):
+        m = make_model(bias=0.05, seed=3)
+        assert m.run_bias != 1.0
+        assert 0.85 <= m.run_bias <= 1.15
+
+    def test_noise_changes_steps(self):
+        m = make_model(noise=0.05, seed=3)
+        m.load(1_000_000)
+        tps = [r.throughput for r in m.run(0.5, 20)]
+        assert len(set(round(t) for t in tps)) > 1
+
+
+def _loaded(method):
+    m = make_model(compaction_method=method)
+    m.load(5_000_000)
+    m.settle()
+    m.cache_age = 1000.0
+    return m

@@ -1,0 +1,103 @@
+"""Property-based tests on the analytic model's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import cassandra_space
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.lsm.analytic import AnalyticLSMModel
+from repro.lsm.knobs import EngineKnobs
+
+SPACE = cassandra_space()
+
+config_overrides = st.fixed_dictionaries(
+    {
+        "compaction_method": st.sampled_from([SIZE_TIERED, LEVELED]),
+        "concurrent_writes": st.integers(min_value=16, max_value=96),
+        "file_cache_size_in_mb": st.integers(min_value=32, max_value=2048),
+        "memtable_cleanup_threshold": st.floats(min_value=0.1, max_value=0.5),
+        "concurrent_compactors": st.integers(min_value=1, max_value=8),
+    }
+)
+
+
+def make_model(overrides, seed=0):
+    cfg = SPACE.configuration(**overrides)
+    return AnalyticLSMModel(
+        EngineKnobs.from_configuration(cfg),
+        seed=seed,
+        noise_sigma=0.0,
+        run_bias_sigma=0.0,
+    )
+
+
+class TestAnalyticInvariants:
+    @given(overrides=config_overrides, rr=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_throughput_positive_and_bounded(self, overrides, rr):
+        model = make_model(overrides)
+        model.load(1_000_000)
+        x = model.sustainable_throughput(rr)
+        assert 1.0 <= x < 1e7
+
+    @given(overrides=config_overrides)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_structure_counts_never_negative(self, overrides):
+        model = make_model(overrides)
+        model.load(2_000_000)
+        for rr in (0.0, 0.5, 1.0):
+            model.run(rr, duration=30)
+            assert model.memtable_bytes >= 0
+            assert model.sstable_count >= 0
+            assert all(s >= 0 for s in model.st_tables)
+            assert all(b >= -1e-6 for b in model.level_bytes)
+            assert model.compaction_backlog_bytes >= 0
+
+    @given(overrides=config_overrides)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_settle_drains_backlog(self, overrides):
+        model = make_model(overrides)
+        model.load(2_000_000)
+        model.run(0.0, duration=60)
+        model.settle(max_seconds=50_000)
+        assert model.compaction_backlog_bytes == 0.0
+
+    @given(overrides=config_overrides, seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_strategy_switch_conserves_bytes(self, overrides, seed):
+        model = make_model(overrides, seed=seed)
+        model.load(2_000_000)
+        model.settle(max_seconds=50_000)
+        before = sum(model.st_tables) + sum(model.level_bytes) + sum(model.l0_tables)
+        other = LEVELED if not model.is_leveled else SIZE_TIERED
+        cfg = SPACE.configuration(**{**overrides, "compaction_method": other})
+        model.reconfigure(EngineKnobs.from_configuration(cfg))
+        after = sum(model.st_tables) + sum(model.level_bytes) + sum(model.l0_tables)
+        assert after == pytest.approx(before, rel=1e-6)
+
+    @given(overrides=config_overrides)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_cache_hit_is_probability(self, overrides):
+        model = make_model(overrides)
+        model.load(1_000_000)
+        model.run(0.5, duration=100)
+        assert 0.0 <= model.cache_hit_ratio() <= 1.0
+
+    @given(
+        overrides=config_overrides,
+        writes=st.floats(min_value=0, max_value=1e6),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_flush_accounting(self, overrides, writes):
+        """Bytes written land in the memtable or flushed tables exactly."""
+        model = make_model(overrides)
+        model._apply_writes(writes, all_inserts=True)
+        stored = (
+            model.memtable_bytes
+            + sum(model.st_tables)
+            + sum(model.l0_tables)
+            + sum(model.level_bytes)
+        )
+        assert stored == pytest.approx(writes * model.profile.record_bytes, rel=1e-9)

@@ -1,0 +1,135 @@
+"""Property-based tests: the LSM engine is linearizable against a dict.
+
+Under any sequence of puts/gets/deletes — across flushes and both
+compaction strategies — the engine must return exactly what a plain
+dictionary model returns.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.lsm.engine import LSMEngine
+
+from tests.conftest import make_knobs
+
+KEYS = st.integers(min_value=0, max_value=30).map(lambda i: f"k{i:02d}")
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, st.binary(min_size=0, max_size=80)),
+        st.tuples(st.just("get"), KEYS, st.just(b"")),
+        st.tuples(st.just("delete"), KEYS, st.just(b"")),
+    ),
+    max_size=120,
+)
+
+
+def run_model_check(ops, compaction_method, flush_every=17):
+    # A tiny memtable so the op sequence crosses several flushes.
+    knobs = make_knobs(
+        compaction_method=compaction_method,
+        memtable_space_bytes=4 * 1024,
+        memtable_cleanup_threshold=0.5,
+        sstable_target_bytes=2 * 1024,
+    )
+    engine = LSMEngine(knobs)
+    model = {}
+    for i, (kind, key, value) in enumerate(ops):
+        if kind == "put":
+            engine.put(key, value)
+            model[key] = value
+        elif kind == "delete":
+            engine.delete(key)
+            model.pop(key, None)
+        else:
+            assert engine.get(key) == model.get(key)
+        if i % flush_every == flush_every - 1:
+            engine.flush()
+    # Drain all background work, then check every key one last time.
+    engine.idle_until_compact()
+    for key in {k for _, k, _ in ops}:
+        assert engine.get(key) == model.get(key)
+
+
+class TestEngineLinearizability:
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_size_tiered_matches_dict(self, ops):
+        run_model_check(ops, SIZE_TIERED)
+
+    @given(ops=operations)
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_leveled_matches_dict(self, ops):
+        run_model_check(ops, LEVELED)
+
+    @given(ops=operations, switch_at=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_strategy_switch_preserves_data(self, ops, switch_at):
+        """Online reconfiguration mid-stream must never lose writes."""
+        knobs = make_knobs(
+            memtable_space_bytes=4 * 1024,
+            memtable_cleanup_threshold=0.5,
+            sstable_target_bytes=2 * 1024,
+        )
+        engine = LSMEngine(knobs)
+        model = {}
+        for i, (kind, key, value) in enumerate(ops):
+            if i == switch_at:
+                engine.reconfigure(
+                    make_knobs(
+                        compaction_method=LEVELED,
+                        memtable_space_bytes=4 * 1024,
+                        memtable_cleanup_threshold=0.5,
+                        sstable_target_bytes=2 * 1024,
+                    )
+                )
+            if kind == "put":
+                engine.put(key, value)
+                model[key] = value
+            elif kind == "delete":
+                engine.delete(key)
+                model.pop(key, None)
+            else:
+                assert engine.get(key) == model.get(key)
+        engine.idle_until_compact()
+        for key in {k for _, k, _ in ops}:
+            assert engine.get(key) == model.get(key)
+
+    @given(ops=operations)
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_clock_monotone(self, ops):
+        knobs = make_knobs(memtable_space_bytes=4 * 1024)
+        engine = LSMEngine(knobs)
+        last = engine.clock.now
+        for kind, key, value in ops:
+            if kind == "put":
+                engine.put(key, value)
+            elif kind == "delete":
+                engine.delete(key)
+            else:
+                engine.get(key)
+            assert engine.clock.now >= last
+            last = engine.clock.now
+
+    @given(ops=operations)
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_leveled_invariant_holds_throughout(self, ops):
+        knobs = make_knobs(
+            compaction_method=LEVELED,
+            memtable_space_bytes=4 * 1024,
+            sstable_target_bytes=2 * 1024,
+        )
+        engine = LSMEngine(knobs)
+        for i, (kind, key, value) in enumerate(ops):
+            if kind == "put":
+                engine.put(key, value)
+            elif kind == "delete":
+                engine.delete(key)
+            else:
+                engine.get(key)
+            if i % 25 == 24:
+                engine.layout.check_leveled_invariant()
+        engine.idle_until_compact()
+        engine.layout.check_leveled_invariant()

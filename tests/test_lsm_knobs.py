@@ -1,0 +1,49 @@
+import pytest
+
+from repro.config import cassandra_space
+from repro.config.cassandra import LEVELED
+from repro.errors import ConfigurationError
+from repro.lsm.knobs import MB, EngineKnobs
+
+from tests.conftest import make_knobs
+
+
+class TestEngineKnobs:
+    def test_from_default_configuration(self):
+        space = cassandra_space()
+        knobs = EngineKnobs.from_configuration(space.default_configuration())
+        assert knobs.concurrent_writes == 32
+        assert knobs.file_cache_bytes == 512 * MB
+        assert knobs.memtable_space_bytes == (2048 + 2048) * MB
+        assert knobs.commitlog_sync_period_s == pytest.approx(10.0)
+
+    def test_flush_trigger_is_threshold_times_space(self):
+        knobs = make_knobs(memtable_space_bytes=1000, memtable_cleanup_threshold=0.25)
+        assert knobs.flush_trigger_bytes == pytest.approx(250.0)
+
+    def test_compaction_method_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_knobs(compaction_method="NopeStrategy")
+
+    def test_threshold_validated(self):
+        with pytest.raises(ConfigurationError):
+            make_knobs(memtable_cleanup_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            make_knobs(memtable_cleanup_threshold=1.5)
+
+    def test_overrides_flow_through(self):
+        space = cassandra_space()
+        cfg = space.configuration(
+            compaction_method=LEVELED,
+            concurrent_compactors=7,
+            compaction_throughput_mb_per_sec=32,
+        )
+        knobs = EngineKnobs.from_configuration(cfg)
+        assert knobs.compaction_method == LEVELED
+        assert knobs.concurrent_compactors == 7
+        assert knobs.compaction_throughput_bytes == 32 * MB
+
+    def test_frozen(self):
+        knobs = make_knobs()
+        with pytest.raises(AttributeError):
+            knobs.concurrent_writes = 5

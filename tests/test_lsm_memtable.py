@@ -1,0 +1,69 @@
+import pytest
+
+from repro.lsm.memtable import Memtable
+from repro.lsm.record import Record
+
+
+def rec(key, ts=1.0, size=10):
+    return Record(key=key, timestamp=ts, value=b"x" * size)
+
+
+class TestMemtable:
+    def test_put_get(self):
+        mt = Memtable(capacity_bytes=10_000)
+        mt.put(rec("a", 1.0))
+        assert mt.get("a").timestamp == 1.0
+
+    def test_get_missing_none(self):
+        assert Memtable(1000).get("nope") is None
+
+    def test_newer_version_wins(self):
+        mt = Memtable(10_000)
+        mt.put(rec("a", 1.0, size=5))
+        mt.put(rec("a", 2.0, size=7))
+        assert len(mt.get("a").value) == 7
+
+    def test_stale_write_ignored(self):
+        mt = Memtable(10_000)
+        mt.put(rec("a", 2.0, size=7))
+        mt.put(rec("a", 1.0, size=5))
+        assert len(mt.get("a").value) == 7
+
+    def test_byte_accounting_on_overwrite(self):
+        mt = Memtable(10_000)
+        mt.put(rec("a", 1.0, size=100))
+        before = mt.size_bytes
+        mt.put(rec("a", 2.0, size=100))
+        assert mt.size_bytes == before
+
+    def test_tombstones_stored(self):
+        mt = Memtable(10_000)
+        mt.put(rec("a", 1.0))
+        mt.put(Record.tombstone("a", 2.0))
+        assert mt.get("a").is_tombstone
+        assert "a" in mt
+
+    def test_should_flush_threshold(self):
+        mt = Memtable(capacity_bytes=1000)
+        assert not mt.should_flush(0.5)
+        while mt.size_bytes < 500:
+            mt.put(rec(f"k{mt.size_bytes}", 1.0, size=50))
+        assert mt.should_flush(0.5)
+
+    def test_fill_fraction(self):
+        mt = Memtable(capacity_bytes=1000)
+        mt.put(rec("a", 1.0, size=100 - 40 - 1))  # size_bytes == 100
+        assert mt.fill_fraction == pytest.approx(0.1)
+
+    def test_drain_sorted_and_empties(self):
+        mt = Memtable(10_000)
+        for k in ["c", "a", "b"]:
+            mt.put(rec(k, 1.0))
+        drained = list(mt.drain())
+        assert [r.key for r in drained] == ["a", "b", "c"]
+        assert len(mt) == 0
+        assert mt.size_bytes == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Memtable(0)

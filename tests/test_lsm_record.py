@@ -1,0 +1,47 @@
+import pytest
+
+from repro.lsm.record import RECORD_OVERHEAD_BYTES, Record
+
+
+class TestRecord:
+    def test_size_includes_overhead(self):
+        rec = Record(key="k1", timestamp=1.0, value=b"x" * 10)
+        assert rec.size_bytes == RECORD_OVERHEAD_BYTES + 2 + 10
+
+    def test_tombstone_has_no_value(self):
+        t = Record.tombstone("k1", 2.0)
+        assert t.is_tombstone
+        assert t.value is None
+
+    def test_tombstone_size(self):
+        t = Record.tombstone("kk", 2.0)
+        assert t.size_bytes == RECORD_OVERHEAD_BYTES + 2
+
+    def test_supersedes_newer_wins(self):
+        old = Record("k", 1.0, b"old")
+        new = Record("k", 2.0, b"new")
+        assert new.supersedes(old)
+        assert not old.supersedes(new)
+
+    def test_supersedes_equal_timestamp(self):
+        a = Record("k", 1.0, b"a")
+        b = Record("k", 1.0, b"b")
+        assert a.supersedes(b)  # ties resolve as >= (idempotent replay)
+
+    def test_supersedes_rejects_different_keys(self):
+        with pytest.raises(ValueError):
+            Record("k1", 1.0, b"").supersedes(Record("k2", 1.0, b""))
+
+    def test_ordering_by_key_then_time(self):
+        records = [Record("b", 1.0), Record("a", 2.0), Record("a", 1.0)]
+        ordered = sorted(records)
+        assert [(r.key, r.timestamp) for r in ordered] == [
+            ("a", 1.0),
+            ("a", 2.0),
+            ("b", 1.0),
+        ]
+
+    def test_frozen(self):
+        rec = Record("k", 1.0, b"v")
+        with pytest.raises(AttributeError):
+            rec.key = "other"

@@ -1,0 +1,129 @@
+import pytest
+
+from repro.lsm.record import Record
+from repro.lsm.sstable import SSTable, merge_records, split_into_tables
+
+
+def recs(*keys, ts=1.0, size=20):
+    return [Record(key=k, timestamp=ts, value=b"x" * size) for k in sorted(keys)]
+
+
+def make_table(*keys, table_id=1, ts=1.0, level=0):
+    return SSTable(table_id, recs(*keys, ts=ts), fp_chance=0.01, level=level)
+
+
+class TestSSTable:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            SSTable(1, [], fp_chance=0.01)
+
+    def test_rejects_unsorted(self):
+        rows = [Record("b", 1.0, b""), Record("a", 1.0, b"")]
+        with pytest.raises(ValueError):
+            SSTable(1, rows, fp_chance=0.01)
+
+    def test_rejects_duplicate_keys(self):
+        rows = [Record("a", 1.0, b""), Record("a", 2.0, b"")]
+        with pytest.raises(ValueError):
+            SSTable(1, rows, fp_chance=0.01)
+
+    def test_min_max_keys(self):
+        t = make_table("b", "d", "a")
+        assert t.min_key == "a"
+        assert t.max_key == "d"
+
+    def test_get_existing(self):
+        t = make_table("a", "b", "c")
+        assert t.get("b").key == "b"
+
+    def test_get_missing(self):
+        t = make_table("a", "c")
+        assert t.get("b") is None
+
+    def test_might_contain_range_prefilter(self):
+        t = make_table("b", "c")
+        assert not t.might_contain("a")
+        assert not t.might_contain("z")
+
+    def test_might_contain_members(self):
+        t = make_table("a", "b", "c")
+        assert all(t.might_contain(k) for k in "abc")
+
+    def test_overlaps(self):
+        a = make_table("a", "c", table_id=1)
+        b = make_table("b", "d", table_id=2)
+        c = make_table("e", "f", table_id=3)
+        assert a.overlaps(b)
+        assert not a.overlaps(c)
+
+    def test_overlaps_range(self):
+        t = make_table("c", "e")
+        assert t.overlaps_range("a", "c")
+        assert not t.overlaps_range("f", "g")
+
+    def test_size_and_blocks(self):
+        t = make_table("a", "b")
+        assert t.size_bytes == sum(r.size_bytes for r in t.records())
+        assert t.block_count == 1
+
+    def test_block_of_within_range(self):
+        t = make_table(*[f"k{i:03d}" for i in range(50)])
+        assert 0 <= t.block_of("k025") < max(t.block_count, 1)
+
+
+class TestMergeRecords:
+    def test_newest_version_wins(self):
+        old = recs("a", ts=1.0)
+        new = recs("a", ts=2.0, size=30)
+        merged = merge_records([old, new])
+        assert len(merged) == 1
+        assert merged[0].timestamp == 2.0
+
+    def test_union_of_keys_sorted(self):
+        merged = merge_records([recs("b", "d"), recs("a", "c")])
+        assert [r.key for r in merged] == ["a", "b", "c", "d"]
+
+    def test_tombstones_kept_by_default(self):
+        runs = [[Record.tombstone("a", 2.0)], recs("a", ts=1.0)]
+        merged = merge_records(runs)
+        assert merged[0].is_tombstone
+
+    def test_tombstones_dropped_on_full_merge(self):
+        runs = [[Record.tombstone("a", 2.0)], recs("a", ts=1.0)]
+        assert merge_records(runs, drop_tombstones=True) == []
+
+    def test_tombstone_shadows_only_older(self):
+        runs = [[Record.tombstone("a", 1.0)], recs("a", ts=2.0)]
+        merged = merge_records(runs, drop_tombstones=True)
+        assert len(merged) == 1 and not merged[0].is_tombstone
+
+
+class TestSplitIntoTables:
+    def test_respects_max_bytes(self):
+        rows = recs(*[f"k{i:03d}" for i in range(100)])
+        counter = iter(range(1, 100))
+        tables = split_into_tables(
+            rows, max_table_bytes=500, next_id=lambda: next(counter),
+            fp_chance=0.01, level=1, created_at=0.0,
+        )
+        assert len(tables) > 1
+        assert all(t.level == 1 for t in tables)
+
+    def test_tables_non_overlapping_and_ordered(self):
+        rows = recs(*[f"k{i:03d}" for i in range(60)])
+        counter = iter(range(1, 100))
+        tables = split_into_tables(
+            rows, max_table_bytes=400, next_id=lambda: next(counter),
+            fp_chance=0.01, level=1, created_at=0.0,
+        )
+        for a, b in zip(tables, tables[1:]):
+            assert a.max_key < b.min_key
+
+    def test_all_records_preserved(self):
+        rows = recs(*[f"k{i:03d}" for i in range(37)])
+        counter = iter(range(1, 100))
+        tables = split_into_tables(
+            rows, max_table_bytes=300, next_id=lambda: next(counter),
+            fp_chance=0.01, level=2, created_at=0.0,
+        )
+        assert sum(t.key_count for t in tables) == 37

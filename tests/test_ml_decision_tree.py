@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.decision_tree import DecisionTreeRegressor, ModelTreeRegressor
+from repro.ml.metrics import rmse
+
+
+def step_function(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0.5, 10.0, 0.0) + np.where(x[:, 1] > 0.3, 5.0, 0.0)
+    return x, y
+
+
+def linear_function(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 3))
+    y = 2 * x[:, 0] + 3 * x[:, 1] - x[:, 2]
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_step_function(self):
+        x, y = step_function()
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert rmse(y, tree.predict(x)) < 1.0
+
+    def test_respects_max_depth(self):
+        x, y = step_function()
+        tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_min_samples_leaf(self):
+        x, y = step_function(n=20)
+        tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=10).fit(x, y)
+        assert tree.depth() <= 1
+
+    def test_constant_target_single_leaf(self):
+        x = np.random.default_rng(0).uniform(size=(30, 2))
+        tree = DecisionTreeRegressor().fit(x, np.full(30, 7.0))
+        assert tree.depth() == 0
+        assert np.allclose(tree.predict(x), 7.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeRegressor().predict(np.ones((1, 2)))
+
+    def test_single_row_predict(self):
+        x, y = step_function()
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert isinstance(tree.predict(x[0]), float)
+
+    def test_bad_hyperparameters(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeRegressor(max_depth=0)
+
+    def test_bad_shapes(self):
+        with pytest.raises(TrainingError):
+            DecisionTreeRegressor().fit(np.ones((3, 2)), np.ones(4))
+
+
+class TestModelTree:
+    def test_beats_plain_tree_on_linear_target(self):
+        """§3.7.2: linear-combination nodes improve on single-variable
+        splits for smooth responses."""
+        x, y = linear_function()
+        plain = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        model = ModelTreeRegressor(max_depth=3).fit(x, y)
+        x_test, y_test = linear_function(seed=1)
+        assert rmse(y_test, model.predict(x_test)) < rmse(y_test, plain.predict(x_test))
+
+    def test_linear_function_near_exact(self):
+        x, y = linear_function()
+        model = ModelTreeRegressor(max_depth=2).fit(x, y)
+        assert rmse(y, model.predict(x)) < 0.05

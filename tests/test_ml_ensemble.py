@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.ensemble import EnsembleConfig, NetworkEnsemble
+
+
+def toy_problem(n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 1, size=(n, 4))
+    y = 50_000 + 30_000 * np.sin(3 * x[:, 0]) + 10_000 * x[:, 1] * x[:, 2]
+    return x, y
+
+
+class TestEnsembleConfig:
+    def test_paper_defaults(self):
+        cfg = EnsembleConfig()
+        assert cfg.n_networks == 20
+        assert cfg.prune_fraction == pytest.approx(0.30)
+        assert tuple(cfg.hidden_layers) == (14, 4)
+        assert cfg.max_epochs == 200
+
+    def test_validation(self):
+        with pytest.raises(TrainingError):
+            EnsembleConfig(n_networks=0)
+        with pytest.raises(TrainingError):
+            EnsembleConfig(prune_fraction=1.0)
+
+
+class TestNetworkEnsemble:
+    def test_paper_pruning_20_to_14(self):
+        """§3.6.2: 20 networks, worst 30% pruned -> average of 14."""
+        x, y = toy_problem(n=60)
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=20, max_epochs=15))
+        ens.fit(x, y, seed=0)
+        assert ens.active_count == 14
+        assert ens.pruned_count == 6
+
+    def test_pruning_keeps_best(self):
+        x, y = toy_problem(n=80)
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=6, max_epochs=20))
+        ens.fit(x, y, seed=1)
+        kept_errors = [r.train_mse for r in ens.training_results]
+        assert kept_errors == sorted(kept_errors)
+
+    def test_predict_original_units(self):
+        x, y = toy_problem()
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=4, max_epochs=60))
+        ens.fit(x, y, seed=2)
+        pred = ens.predict(x)
+        assert pred.shape == y.shape
+        assert abs(pred.mean() - y.mean()) / y.mean() < 0.2
+
+    def test_predict_single_row(self):
+        x, y = toy_problem()
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=3, max_epochs=30))
+        ens.fit(x, y, seed=3)
+        out = ens.predict(x[0])
+        assert isinstance(out, float)
+
+    def test_predict_std_nonnegative(self):
+        x, y = toy_problem()
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=4, max_epochs=30))
+        ens.fit(x, y, seed=3)
+        assert (ens.predict_std(x) >= 0).all()
+
+    def test_use_before_fit(self):
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=2))
+        with pytest.raises(TrainingError):
+            ens.predict(np.ones((2, 3)))
+        with pytest.raises(TrainingError):
+            ens.predict_std(np.ones((2, 3)))
+
+    def test_fit_deterministic_per_seed(self):
+        x, y = toy_problem(n=60)
+        a = NetworkEnsemble(EnsembleConfig(n_networks=3, max_epochs=20)).fit(x, y, seed=9)
+        b = NetworkEnsemble(EnsembleConfig(n_networks=3, max_epochs=20)).fit(x, y, seed=9)
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_bad_shapes(self):
+        ens = NetworkEnsemble(EnsembleConfig(n_networks=2))
+        with pytest.raises(TrainingError):
+            ens.fit(np.ones((5, 2)), np.ones(4))

@@ -1,0 +1,64 @@
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.metrics import (
+    mean_absolute_percentage_error,
+    percentage_errors,
+    r2_score,
+    rmse,
+)
+
+
+class TestMape:
+    def test_perfect_prediction(self):
+        assert mean_absolute_percentage_error([1, 2, 3], [1, 2, 3]) == 0.0
+
+    def test_known_value(self):
+        assert mean_absolute_percentage_error([100], [110]) == pytest.approx(10.0)
+
+    def test_symmetric_over_magnitude(self):
+        assert mean_absolute_percentage_error([100, 200], [110, 220]) == pytest.approx(10.0)
+
+    def test_zero_target_rejected(self):
+        with pytest.raises(TrainingError):
+            mean_absolute_percentage_error([0.0], [1.0])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(TrainingError):
+            mean_absolute_percentage_error([1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(TrainingError):
+            mean_absolute_percentage_error([], [])
+
+
+class TestPercentageErrors:
+    def test_signed(self):
+        errs = percentage_errors([100, 100], [90, 120])
+        assert errs[0] == pytest.approx(-10.0)
+        assert errs[1] == pytest.approx(20.0)
+
+
+class TestRmse:
+    def test_known_value(self):
+        assert rmse([0, 0], [3, 4]) == pytest.approx(np.sqrt(12.5))
+
+    def test_zero_for_perfect(self):
+        assert rmse([1, 2], [1, 2]) == 0.0
+
+
+class TestR2:
+    def test_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_mean_predictor_zero(self):
+        y = [1.0, 2.0, 3.0]
+        assert r2_score(y, [2.0, 2.0, 2.0]) == pytest.approx(0.0)
+
+    def test_worse_than_mean_negative(self):
+        assert r2_score([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]) < 0
+
+    def test_constant_targets(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [3.0, 3.0]) == 0.0

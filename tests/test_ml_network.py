@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.network import FeedForwardNetwork
+
+
+@pytest.fixture
+def net(rng):
+    return FeedForwardNetwork([6, 14, 4, 1], rng=rng)
+
+
+class TestConstruction:
+    def test_paper_topology_weight_count(self, net):
+        # (6+1)*14 + (14+1)*4 + (4+1)*1 = 98 + 60 + 5
+        assert net.n_weights == 163
+
+    def test_needs_two_layers(self):
+        with pytest.raises(TrainingError):
+            FeedForwardNetwork([4])
+
+    def test_positive_sizes(self):
+        with pytest.raises(TrainingError):
+            FeedForwardNetwork([4, 0, 1])
+
+
+class TestWeightVector:
+    def test_round_trip(self, net):
+        w = net.get_weights()
+        net.set_weights(w * 2)
+        assert np.allclose(net.get_weights(), w * 2)
+
+    def test_wrong_size_rejected(self, net):
+        with pytest.raises(TrainingError):
+            net.set_weights(np.zeros(10))
+
+    def test_clone_independent(self, net, rng):
+        clone = net.clone()
+        x = rng.standard_normal((5, 6))
+        assert np.allclose(net.predict(x), clone.predict(x))
+        clone.set_weights(clone.get_weights() + 1.0)
+        assert not np.allclose(net.predict(x), clone.predict(x))
+
+
+class TestForward:
+    def test_predict_shape(self, net, rng):
+        assert net.predict(rng.standard_normal((7, 6))).shape == (7,)
+
+    def test_predict_single_row(self, net, rng):
+        assert net.predict(rng.standard_normal(6)).shape == (1,)
+
+    def test_zero_weights_zero_output(self):
+        net = FeedForwardNetwork([3, 4, 1], rng=np.random.default_rng(0))
+        net.set_weights(np.zeros(net.n_weights))
+        assert np.allclose(net.predict(np.ones((2, 3))), 0.0)
+
+    def test_output_is_linear_in_last_layer(self, rng):
+        net = FeedForwardNetwork([2, 3, 1], rng=rng)
+        w = net.get_weights()
+        x = rng.standard_normal((4, 2))
+        y1 = net.predict(x)
+        # Doubling the output layer weights doubles the output only if
+        # the output unit is linear.
+        w2 = w.copy()
+        w2[-4:] *= 2  # last layer: 3 weights + 1 bias
+        net.set_weights(w2)
+        assert np.allclose(net.predict(x), 2 * y1)
+
+
+class TestJacobian:
+    def test_matches_finite_differences(self, rng):
+        net = FeedForwardNetwork([4, 5, 3, 1], rng=rng)
+        x = rng.standard_normal((6, 4))
+        jac = net.jacobian(x)
+        w0 = net.get_weights()
+        eps = 1e-6
+        for k in range(0, net.n_weights, 7):  # spot-check every 7th weight
+            w = w0.copy()
+            w[k] += eps
+            net.set_weights(w)
+            up = net.predict(x)
+            w[k] -= 2 * eps
+            net.set_weights(w)
+            down = net.predict(x)
+            net.set_weights(w0)
+            fd = (up - down) / (2 * eps)
+            assert np.allclose(jac[:, k], fd, atol=1e-6)
+
+    def test_shape(self, net, rng):
+        x = rng.standard_normal((9, 6))
+        assert net.jacobian(x).shape == (9, net.n_weights)
+
+    def test_multi_output_rejected(self, rng):
+        net = FeedForwardNetwork([3, 4, 2], rng=rng)
+        with pytest.raises(TrainingError):
+            net.jacobian(rng.standard_normal((2, 3)))
+
+    def test_different_inits_differ(self):
+        a = FeedForwardNetwork([3, 4, 1], rng=np.random.default_rng(1))
+        b = FeedForwardNetwork([3, 4, 1], rng=np.random.default_rng(2))
+        assert not np.allclose(a.get_weights(), b.get_weights())

@@ -1,0 +1,54 @@
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.scaler import StandardScaler
+
+
+class TestStandardScaler:
+    def test_transform_standardizes(self):
+        x = np.random.default_rng(0).normal(5.0, 3.0, size=(500, 2))
+        s = StandardScaler().fit(x)
+        z = s.transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_round_trip(self):
+        x = np.random.default_rng(1).normal(size=(50, 3)) * 7 + 2
+        s = StandardScaler().fit(x)
+        assert np.allclose(s.inverse_transform(s.transform(x)), x)
+
+    def test_1d_input(self):
+        y = np.array([1.0, 2.0, 3.0])
+        s = StandardScaler().fit(y)
+        z = s.transform(y)
+        assert z.shape == (3,)
+        assert np.allclose(s.inverse_transform(z), y)
+
+    def test_constant_column_passthrough(self):
+        x = np.ones((10, 2))
+        x[:, 1] = np.arange(10)
+        s = StandardScaler().fit(x)
+        z = s.transform(x)
+        assert np.allclose(z[:, 0], 0.0)
+        assert np.isfinite(z).all()
+
+    def test_fit_transform(self):
+        x = np.arange(10.0)[:, None]
+        assert np.allclose(StandardScaler().fit_transform(x), StandardScaler().fit(x).transform(x))
+
+    def test_use_before_fit(self):
+        with pytest.raises(TrainingError):
+            StandardScaler().transform(np.ones(3))
+        with pytest.raises(TrainingError):
+            StandardScaler().inverse_transform(np.ones(3))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(TrainingError):
+            StandardScaler().fit(np.empty((0, 2)))
+
+    def test_is_fitted(self):
+        s = StandardScaler()
+        assert not s.is_fitted
+        s.fit(np.ones((3, 1)))
+        assert s.is_fitted

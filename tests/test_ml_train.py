@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.ml.network import FeedForwardNetwork
+from repro.ml.train import train_adam, train_bayesian_lm
+
+
+def toy_problem(n=150, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 3))
+    y = np.sin(2 * x[:, 0]) + 0.5 * x[:, 1] * x[:, 2]
+    return x, y
+
+
+class TestBayesianLM:
+    def test_fits_nonlinear_function(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 10, 1], rng=np.random.default_rng(1))
+        result = train_bayesian_lm(net, x, y)
+        assert result.train_mse < 0.01
+
+    def test_respects_epoch_cap(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 10, 1], rng=np.random.default_rng(1))
+        result = train_bayesian_lm(net, x, y, max_epochs=5)
+        assert result.epochs <= 5
+
+    def test_effective_parameters_bounded(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 10, 1], rng=np.random.default_rng(2))
+        result = train_bayesian_lm(net, x, y)
+        assert 0 < result.effective_parameters <= net.n_weights
+
+    def test_hyperparameters_positive(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 8, 1], rng=np.random.default_rng(3))
+        result = train_bayesian_lm(net, x, y)
+        assert result.alpha > 0 and result.beta > 0
+
+    def test_regularization_shrinks_on_noise(self):
+        """Pure-noise targets should yield few effective parameters."""
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(100, 3))
+        y = rng.standard_normal(100)
+        net = FeedForwardNetwork([3, 10, 1], rng=rng)
+        result = train_bayesian_lm(net, x, y)
+        assert result.effective_parameters < net.n_weights * 0.8
+
+    def test_linear_function_learned_exactly(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-1, 1, size=(80, 2))
+        y = 3 * x[:, 0] - 2 * x[:, 1]
+        net = FeedForwardNetwork([2, 6, 1], rng=rng)
+        train_bayesian_lm(net, x, y)
+        x_test = rng.uniform(-0.8, 0.8, size=(20, 2))
+        y_test = 3 * x_test[:, 0] - 2 * x_test[:, 1]
+        assert np.abs(net.predict(x_test) - y_test).max() < 0.1
+
+    def test_bad_shapes_rejected(self):
+        net = FeedForwardNetwork([3, 4, 1], rng=np.random.default_rng(0))
+        with pytest.raises(TrainingError):
+            train_bayesian_lm(net, np.ones(5), np.ones(5))
+        with pytest.raises(TrainingError):
+            train_bayesian_lm(net, np.ones((5, 3)), np.ones(4))
+        with pytest.raises(TrainingError):
+            train_bayesian_lm(net, np.empty((0, 3)), np.empty(0))
+
+    def test_deterministic_given_same_init(self):
+        x, y = toy_problem()
+        net1 = FeedForwardNetwork([3, 6, 1], rng=np.random.default_rng(7))
+        net2 = FeedForwardNetwork([3, 6, 1], rng=np.random.default_rng(7))
+        train_bayesian_lm(net1, x, y, max_epochs=30)
+        train_bayesian_lm(net2, x, y, max_epochs=30)
+        assert np.allclose(net1.get_weights(), net2.get_weights())
+
+
+class TestAdam:
+    def test_fits_reasonably(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 10, 1], rng=np.random.default_rng(1))
+        result = train_adam(net, x, y, epochs=300)
+        assert result.train_mse < 0.05
+
+    def test_minibatch_mode(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 10, 1], rng=np.random.default_rng(1))
+        result = train_adam(net, x, y, epochs=100, batch_size=32)
+        assert result.train_mse < 0.2

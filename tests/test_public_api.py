@@ -1,0 +1,58 @@
+"""The documented public API stays importable from the package root."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    DatastoreError,
+    KeyNotFound,
+    ReproError,
+    SearchError,
+    TrainingError,
+    WorkloadError,
+)
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_headline_classes_exported(self):
+        for name in [
+            "CassandraLike",
+            "ScyllaLike",
+            "Cluster",
+            "Rafiki",
+            "RafikiPipeline",
+            "SurrogateModel",
+            "YCSBBenchmark",
+            "MGRastTraceGenerator",
+            "WorkloadSpec",
+        ]:
+            assert name in repro.__all__
+
+    def test_quickstart_docstring_present(self):
+        assert "Quickstart" in repro.__doc__
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in [
+            ConfigurationError,
+            WorkloadError,
+            DatastoreError,
+            TrainingError,
+            SearchError,
+        ]:
+            assert issubclass(exc, ReproError)
+
+    def test_key_not_found_is_datastore_error(self):
+        assert issubclass(KeyNotFound, DatastoreError)
+        err = KeyNotFound("abc")
+        assert err.key == "abc"
+        assert "abc" in str(err)

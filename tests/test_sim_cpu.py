@@ -1,0 +1,77 @@
+import pytest
+
+from repro.sim.cpu import CpuModel
+from repro.sim.costs import (
+    CostConstants,
+    DEFAULT_COSTS,
+    thread_contention,
+    thread_pool_rate,
+)
+from repro.sim.hardware import DEFAULT_SERVER
+
+
+class TestCpuModel:
+    def test_available_cores_default(self):
+        cpu = CpuModel(DEFAULT_SERVER)
+        assert cpu.available_cores == DEFAULT_SERVER.cpu_cores
+
+    def test_background_reduces_cores(self):
+        cpu = CpuModel(DEFAULT_SERVER)
+        cpu.set_background_utilization(0.5)
+        assert cpu.available_cores == pytest.approx(DEFAULT_SERVER.cpu_cores / 2)
+
+    def test_background_clamped(self):
+        cpu = CpuModel(DEFAULT_SERVER, background_utilization=5.0)
+        assert cpu.background_utilization <= 0.9
+
+    def test_scale_cost_for_faster_clock(self):
+        cpu = CpuModel(DEFAULT_SERVER)  # 3.0 GHz reference
+        assert cpu.scale_cost(1.0) == pytest.approx(1.0)
+
+    def test_parallelism_monotone_up_to_cores(self):
+        cpu = CpuModel(DEFAULT_SERVER)
+        assert cpu.effective_parallelism(2) < cpu.effective_parallelism(4)
+
+    def test_parallelism_rejects_zero_threads(self):
+        cpu = CpuModel(DEFAULT_SERVER)
+        with pytest.raises(ValueError):
+            cpu.effective_parallelism(0)
+
+
+class TestThreadContention:
+    def test_unit_at_low_threads(self):
+        assert thread_contention(1, 8) == pytest.approx(1.0, abs=0.01)
+
+    def test_grows_with_threads(self):
+        assert thread_contention(128, 8) > thread_contention(32, 8)
+
+    def test_quadratic_shape(self):
+        c = DEFAULT_COSTS.contention_quadratic
+        assert thread_contention(64, 8) == pytest.approx(1.0 + c * 4.0)
+
+    def test_more_cores_less_contention(self):
+        assert thread_contention(64, 16) < thread_contention(64, 8)
+
+
+class TestThreadPoolRate:
+    def test_pool_binds_at_low_threads(self):
+        # 1 thread with a 1 ms hold -> 1000 ops/s regardless of CPU.
+        rate = thread_pool_rate(1, 1e-3, cores=8, cpu_seconds_per_op=1e-6)
+        assert rate == pytest.approx(1000.0)
+
+    def test_cpu_binds_at_high_threads(self):
+        rate = thread_pool_rate(64, 1e-5, cores=8, cpu_seconds_per_op=1e-3)
+        assert rate < 64 / 1e-5
+
+    def test_nonmonotonic_past_saturation(self):
+        """The paper's Figure 6 effect: too many threads hurt."""
+        costs = CostConstants()
+        peak = thread_pool_rate(32, 240e-6, cores=8, cpu_seconds_per_op=70e-6, costs=costs)
+        over = thread_pool_rate(512, 240e-6, cores=8, cpu_seconds_per_op=70e-6, costs=costs)
+        assert over < peak
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            thread_pool_rate(0, 1e-3, 8, 1e-6)
+        with pytest.raises(ValueError):
+            thread_pool_rate(1, -1.0, 8, 1e-6)

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.workload.generator import Operation, OperationGenerator
+from repro.workload.spec import DELETE, READ, WRITE, WorkloadSpec
+
+
+def make_gen(rr=0.5, seed=0, **kw):
+    spec = WorkloadSpec(read_ratio=rr, n_keys=10_000, krd_mean_ops=100.0, **kw)
+    return OperationGenerator(spec, np.random.default_rng(seed), loaded_keys=1000)
+
+
+class TestLoadPhase:
+    def test_load_is_sequential_inserts(self):
+        gen = make_gen()
+        ops = list(gen.load_operations(10))
+        assert all(op.kind == WRITE for op in ops)
+        assert len({op.key for op in ops}) == 10
+
+    def test_load_continues_key_sequence(self):
+        gen = make_gen()
+        first = list(gen.load_operations(5))
+        second = list(gen.load_operations(5))
+        assert set(o.key for o in first).isdisjoint(o.key for o in second)
+
+
+class TestRunPhase:
+    def test_read_ratio_approximated(self):
+        gen = make_gen(rr=0.7)
+        ops = list(gen.operations(5000))
+        reads = sum(1 for op in ops if op.kind == READ)
+        assert 0.65 < reads / len(ops) < 0.75
+
+    def test_pure_writes(self):
+        gen = make_gen(rr=0.0)
+        assert all(op.kind == WRITE for op in gen.operations(200))
+
+    def test_pure_reads(self):
+        gen = make_gen(rr=1.0)
+        assert all(op.kind == READ for op in gen.operations(200))
+
+    def test_deletes_generated(self):
+        gen = make_gen(rr=0.5, delete_fraction=0.2)
+        kinds = [op.kind for op in gen.operations(3000)]
+        assert kinds.count(DELETE) > 0
+
+    def test_updates_vs_inserts(self):
+        all_updates = make_gen(rr=0.0, update_fraction=1.0)
+        ops = list(all_updates.operations(500))
+        # Pure updates only touch the already-loaded range.
+        assert len({op.key for op in ops}) <= 1000
+
+        all_inserts = make_gen(rr=0.0, update_fraction=0.0)
+        ops = list(all_inserts.operations(500))
+        assert len({op.key for op in ops}) == 500
+
+    def test_write_ops_carry_value_size(self):
+        gen = make_gen(rr=0.0, value_bytes=99)
+        op = next(iter(gen))
+        assert op.value_bytes == 99
+
+    def test_payload_matches_size(self):
+        rng = np.random.default_rng(0)
+        op = Operation(kind=WRITE, key="k", value_bytes=44)
+        assert len(op.payload(rng)) == 44
+
+    def test_read_payload_empty(self):
+        rng = np.random.default_rng(0)
+        assert Operation(kind=READ, key="k").payload(rng) == b""
+
+    def test_deterministic_given_seed(self):
+        a = [op.key for op in make_gen(seed=9).operations(100)]
+        b = [op.key for op in make_gen(seed=9).operations(100)]
+        assert a == b
+
+    def test_reads_target_existing_keys(self):
+        gen = make_gen(rr=1.0)
+        for op in gen.operations(300):
+            assert int(op.key[4:]) < 1000
