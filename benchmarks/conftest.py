@@ -14,7 +14,6 @@ from __future__ import annotations
 import json
 import pathlib
 
-import numpy as np
 import pytest
 
 from repro.bench.collection import DataCollectionCampaign

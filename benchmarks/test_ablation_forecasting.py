@@ -10,7 +10,6 @@ others; forecasting recovers most of the reactive controller's lag loss
 on a regime-switching workload.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import SEED, write_results

@@ -7,7 +7,6 @@ random-sampling baseline at the same evaluation budget shows the GA's
 structure buys real quality.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import SEED, write_results

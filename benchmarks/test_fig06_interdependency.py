@@ -10,7 +10,7 @@ the joint optimum (§4.6).
 
 import pytest
 
-from benchmarks.conftest import SEED, write_results
+from benchmarks.conftest import write_results
 from repro.config.cassandra import LEVELED, SIZE_TIERED
 
 

@@ -8,7 +8,7 @@ configuration error stays above unseen-workload error throughout.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import SEED, write_results
+from benchmarks.conftest import write_results
 from repro.config import CASSANDRA_KEY_PARAMETERS
 from repro.core.surrogate import SurrogateModel
 from repro.ml.ensemble import EnsembleConfig

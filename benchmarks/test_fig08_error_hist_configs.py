@@ -7,7 +7,7 @@ Paper: 10 randomized 25%-holdout trials; the average absolute error is
 import numpy as np
 import pytest
 
-from benchmarks.conftest import SEED, write_results
+from benchmarks.conftest import write_results
 from repro.config import CASSANDRA_KEY_PARAMETERS
 from repro.core.surrogate import SurrogateModel
 from repro.ml.ensemble import EnsembleConfig

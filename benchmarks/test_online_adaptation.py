@@ -8,7 +8,6 @@ throughput on the table.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import SEED, write_results
 from repro.core.controller import OnlineController

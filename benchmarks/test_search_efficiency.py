@@ -14,8 +14,6 @@ Paper claims reproduced here:
 
 import time
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import SEED, write_results
 from repro.bench.ycsb import YCSBBenchmark

@@ -13,10 +13,9 @@ write-leaning, so read-heavy workloads leave the most on the table).
 
 import collections
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import SEED, write_results
+from benchmarks.conftest import write_results
 
 PAPER = {
     0.9: {"max": 78_556, "default": 53_461, "min": 38_785},

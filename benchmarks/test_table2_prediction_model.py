@@ -15,7 +15,7 @@ percent, and R2 is clearly positive for the ensemble.
 import numpy as np
 import pytest
 
-from benchmarks.conftest import SEED, write_results
+from benchmarks.conftest import write_results
 from repro.config import CASSANDRA_KEY_PARAMETERS
 from repro.core.surrogate import SurrogateModel
 from repro.ml.ensemble import EnsembleConfig
@@ -62,7 +62,6 @@ def test_table2_prediction_model(table2, benchmark):
     ens_cfg = table2["ensemble20_config"]
     ens_wl = table2["ensemble20_workload"]
     one_cfg = table2["single_config"]
-    one_wl = table2["single_workload"]
 
     # Ensemble beats the single net on the hard (unseen-config) case.
     assert ens_cfg["error_pct"] < one_cfg["error_pct"]

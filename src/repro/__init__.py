@@ -34,6 +34,7 @@ from repro.config import (
     scylla_space,
 )
 from repro.datastore import CassandraLike, Cluster, EngineCluster, HashRing, ScyllaLike
+from repro.errors import ReproError, SearchError, TrainingError
 from repro.bench import (
     BenchmarkResult,
     DataCollectionCampaign,
@@ -43,16 +44,28 @@ from repro.bench import (
 )
 from repro.core import (
     ConfigurationOptimizer,
+    DecisionPolicy,
     ExhaustiveSearch,
+    ForecastPolicy,
     GreedySearch,
+    HysteresisPolicy,
     OnlineController,
     OptimizationResult,
+    OraclePolicy,
     Rafiki,
     RafikiPipeline,
     RandomSearch,
+    ReactivePolicy,
+    RecommendationCache,
     SurrogateModel,
     rank_parameters,
     select_key_parameters,
+)
+from repro.runtime import (
+    EventBus,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
 )
 from repro.workload import (
     MGRastTraceGenerator,
@@ -97,6 +110,22 @@ __all__ = [
     "OnlineController",
     "rank_parameters",
     "select_key_parameters",
+    "RecommendationCache",
+    # decision policies
+    "DecisionPolicy",
+    "OraclePolicy",
+    "ReactivePolicy",
+    "ForecastPolicy",
+    "HysteresisPolicy",
+    # errors raised by the root-level API
+    "ReproError",
+    "SearchError",
+    "TrainingError",
+    # runtime
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "EventBus",
     # workloads
     "WorkloadSpec",
     "mgrast_workload",

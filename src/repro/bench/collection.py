@@ -11,11 +11,17 @@ key parameter's min, max, and default occur at least once), benchmarks
 every (workload, configuration) pair on a fresh server, optionally
 injects client faults into a deterministic subset of samples, and drops
 the faulted points — reproducing the 220 -> 200 pipeline.
+
+Every (workload, configuration) pair is an independent work unit with a
+pre-derived random stream, so the grid is submitted through an
+:class:`~repro.runtime.backend.ExecutionBackend` and parallelizes across
+cores with bitwise-identical results to a serial run.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -24,6 +30,8 @@ from repro.bench.metrics import BenchmarkResult
 from repro.bench.ycsb import YCSBBenchmark
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
+from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.events import EventBus
 from repro.sim.rng import SeedSequence
 from repro.workload.spec import WorkloadSpec
 
@@ -31,6 +39,31 @@ from repro.workload.spec import WorkloadSpec
 DEFAULT_WORKLOAD_COUNT = 11
 DEFAULT_CONFIG_COUNT = 20
 DEFAULT_FAULT_COUNT = 20
+
+
+@dataclass(frozen=True)
+class BenchmarkTask:
+    """One independent grid point: everything a worker needs, including
+    its own random stream and (for faulted points) the pre-drawn client
+    degradation factor."""
+
+    index: int
+    configuration: Configuration
+    workload: WorkloadSpec
+    rng: np.random.Generator
+    benchmark: YCSBBenchmark
+    degradation: Optional[float] = None
+
+
+def execute_benchmark_task(task: BenchmarkTask) -> BenchmarkResult:
+    """Run one grid point (module-level so process pools can pickle it)."""
+    result = task.benchmark.run(task.configuration, task.workload, seed=task.rng)
+    if task.degradation is not None:
+        # A fault in the load-generating client: the recorded
+        # throughput is garbage (partially idle shooter).
+        result.mean_throughput *= task.degradation
+        result.faulty = True
+    return result
 
 
 class DataCollectionCampaign:
@@ -47,6 +80,8 @@ class DataCollectionCampaign:
         benchmark: Optional[YCSBBenchmark] = None,
         seed: int = 0,
         progress: Optional[Callable[[int, int], None]] = None,
+        backend: Optional[ExecutionBackend] = None,
+        events: Optional[EventBus] = None,
     ):
         if n_workloads < 2:
             raise ValueError("need at least two workloads")
@@ -61,6 +96,8 @@ class DataCollectionCampaign:
         self.benchmark = benchmark or YCSBBenchmark(datastore)
         self.seeds = SeedSequence(seed)
         self.progress = progress
+        self.backend = backend
+        self.events = events or EventBus()
 
     # -- plan ------------------------------------------------------------------
 
@@ -77,16 +114,13 @@ class DataCollectionCampaign:
             rng, self.key_parameters, self.n_configurations
         )
 
-    # -- execution ----------------------------------------------------------------
+    def plan_tasks(self) -> List[BenchmarkTask]:
+        """The full grid as independent, seeded work units.
 
-    def run(self) -> PerformanceDataset:
-        """Benchmark the full grid, drop faulted samples, return the rest."""
-        results = self.run_raw()
-        kept = [PerformanceSample.from_result(r) for r in results if not r.faulty]
-        return PerformanceDataset(kept, self.key_parameters)
-
-    def run_raw(self) -> List[BenchmarkResult]:
-        """All 220 results, with ``faulty`` marking injected client faults."""
+        Stream names and fault-RNG draw order match the historical
+        serial loop, so campaigns reproduce bit-for-bit across backends
+        and versions.
+        """
         workloads = self.workloads()
         configs = self.configurations()
         total = len(workloads) * len(configs)
@@ -98,21 +132,58 @@ class DataCollectionCampaign:
             if self.n_faulty
             else set()
         )
+        # Degradations are drawn up front, in index order — the same
+        # sequence the old inline loop consumed lazily.
+        degradations: Dict[int, float] = {
+            index: 0.2 + 0.5 * fault_rng.random()
+            for index in range(total)
+            if index in faulty_indices
+        }
 
-        results: List[BenchmarkResult] = []
+        tasks: List[BenchmarkTask] = []
         index = 0
         for config in configs:
             for workload in workloads:
-                seed = self.seeds.stream(f"bench-{index}")
-                result = self.benchmark.run(config, workload, seed=seed)
-                if index in faulty_indices:
-                    # A fault in the load-generating client: the recorded
-                    # throughput is garbage (partially idle shooter).
-                    degradation = 0.2 + 0.5 * fault_rng.random()
-                    result.mean_throughput *= degradation
-                    result.faulty = True
-                results.append(result)
+                tasks.append(
+                    BenchmarkTask(
+                        index=index,
+                        configuration=config,
+                        workload=workload,
+                        rng=self.seeds.stream(f"bench-{index}"),
+                        benchmark=self.benchmark,
+                        degradation=degradations.get(index),
+                    )
+                )
                 index += 1
-                if self.progress is not None:
-                    self.progress(index, total)
-        return results
+        return tasks
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> PerformanceDataset:
+        """Benchmark the full grid, drop faulted samples, return the rest."""
+        results = self.run_raw()
+        kept = [PerformanceSample.from_result(r) for r in results if not r.faulty]
+        return PerformanceDataset(kept, self.key_parameters)
+
+    def run_raw(self) -> List[BenchmarkResult]:
+        """All 220 results, with ``faulty`` marking injected client faults."""
+        tasks = self.plan_tasks()
+        total = len(tasks)
+        backend = resolve_backend(self.backend)
+        done = 0
+
+        def on_result(index: int, result: BenchmarkResult) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total)
+            self.events.publish(
+                "collect.sample",
+                f"sample {done}/{total}",
+                index=index,
+                done=done,
+                total=total,
+                faulty=result.faulty,
+            )
+
+        return backend.map_tasks(execute_benchmark_task, tasks, on_result=on_result)

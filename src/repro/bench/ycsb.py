@@ -14,7 +14,6 @@ workload-specific details ... are derived from actual MG-RAST queries"
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -23,7 +22,7 @@ from repro.config.space import Configuration
 from repro.datastore.base import Datastore
 from repro.sim.rng import SeedLike, derive_rng
 from repro.workload.generator import OperationGenerator
-from repro.workload.spec import DELETE, READ, WRITE, WorkloadSpec
+from repro.workload.spec import DELETE, READ, WorkloadSpec
 
 #: The paper's benchmark window: 5 minutes of stable metrics (§3.5).
 DEFAULT_RUN_SECONDS = 300.0

@@ -10,7 +10,9 @@ The offline/online split of the paper maps onto subcommands::
 
 ``collect`` and ``train`` produce portable JSON artifacts; ``recommend``
 is the online call a datastore operator (or agent) makes when the
-workload shifts.
+workload shifts.  ``collect`` and ``train`` accept ``--workers N`` to
+run the campaign / ensemble training on a process pool with
+bitwise-identical results.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from repro.core.rafiki import Rafiki
 from repro.core.surrogate import SurrogateModel
 from repro.datastore import CassandraLike, ScyllaLike
 from repro.ml.ensemble import EnsembleConfig
+from repro.runtime import resolve_backend
 from repro.workload.characterize import characterize_trace
 from repro.workload.forecast import MarkovRegimeForecaster
 from repro.workload.mgrast import MGRastTraceGenerator
@@ -48,21 +51,24 @@ def _make_datastore(name: str):
 
 def cmd_collect(args) -> int:
     datastore, key_params = _make_datastore(args.datastore)
-    campaign = DataCollectionCampaign(
-        datastore,
-        mgrast_workload(args.base_read_ratio),
-        key_parameters=key_params,
-        n_workloads=args.workloads,
-        n_configurations=args.configurations,
-        n_faulty=args.faulty,
-        seed=args.seed,
-        progress=(
-            (lambda i, total: print(f"\r   sample {i}/{total}", end="", flush=True))
-            if not args.quiet
-            else None
-        ),
-    )
-    dataset = campaign.run()
+    backend = resolve_backend(workers=args.workers)
+    with backend:
+        campaign = DataCollectionCampaign(
+            datastore,
+            mgrast_workload(args.base_read_ratio),
+            key_parameters=key_params,
+            n_workloads=args.workloads,
+            n_configurations=args.configurations,
+            n_faulty=args.faulty,
+            seed=args.seed,
+            backend=backend,
+            progress=(
+                (lambda i, total: print(f"\r   sample {i}/{total}", end="", flush=True))
+                if not args.quiet
+                else None
+            ),
+        )
+        dataset = campaign.run()
     if not args.quiet:
         print()
     with open(args.out, "w") as fh:
@@ -75,11 +81,12 @@ def cmd_train(args) -> int:
     datastore, _ = _make_datastore(args.datastore)
     with open(args.dataset) as fh:
         dataset = PerformanceDataset.from_json(fh.read(), datastore.space)
-    surrogate = SurrogateModel(
-        datastore.space,
-        dataset.feature_parameters,
-        EnsembleConfig(n_networks=args.networks),
-    ).fit(dataset, seed=args.seed)
+    with resolve_backend(workers=args.workers) as backend:
+        surrogate = SurrogateModel(
+            datastore.space,
+            dataset.feature_parameters,
+            EnsembleConfig(n_networks=args.networks),
+        ).fit(dataset, seed=args.seed, backend=backend)
     save_surrogate(surrogate, args.out)
     print(
         f"trained on {len(dataset)} samples "
@@ -159,8 +166,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--datastore", default="cassandra", help="cassandra | scylladb")
         p.add_argument("--seed", type=int, default=0)
 
+    def positive_int(text):
+        value = int(text)
+        if value < 1:
+            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+        return value
+
+    def add_workers(p):
+        p.add_argument(
+            "--workers",
+            type=positive_int,
+            default=1,
+            help="worker processes for the parallel execution backend "
+            "(1 = serial; results are identical either way)",
+        )
+
     p = sub.add_parser("collect", help="run the offline benchmarking campaign")
     add_common(p)
+    add_workers(p)
     p.add_argument("--out", required=True, help="dataset JSON path")
     p.add_argument("--base-read-ratio", type=float, default=0.5)
     p.add_argument("--workloads", type=int, default=11)
@@ -171,6 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("train", help="train the surrogate on a dataset")
     add_common(p)
+    add_workers(p)
     p.add_argument("--dataset", required=True)
     p.add_argument("--out", required=True, help="surrogate JSON path")
     p.add_argument("--networks", type=int, default=20)

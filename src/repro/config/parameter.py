@@ -8,8 +8,8 @@ and float (thresholds in [0, 1]).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Sequence, Tuple
 
 import numpy as np
 

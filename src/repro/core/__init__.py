@@ -29,11 +29,30 @@ from repro.core.search import (
     OptimizationResult,
     SAMPLE_WALL_SECONDS,
 )
+from repro.core.cache import CacheStats, RecommendationCache
+from repro.core.policies import (
+    DecisionPolicy,
+    ForecastPolicy,
+    HysteresisPolicy,
+    OraclePolicy,
+    ReactivePolicy,
+    WindowObservation,
+    make_policy,
+)
 from repro.core.rafiki import Rafiki, RafikiPipeline, PipelineReport
 from repro.core.controller import OnlineController, ControllerEvent
 from repro.core.persistence import load_surrogate, save_surrogate
 
 __all__ = [
+    "CacheStats",
+    "RecommendationCache",
+    "DecisionPolicy",
+    "OraclePolicy",
+    "ReactivePolicy",
+    "ForecastPolicy",
+    "HysteresisPolicy",
+    "WindowObservation",
+    "make_policy",
     "AnovaRanking",
     "ParameterEffect",
     "rank_parameters",

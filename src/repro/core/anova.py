@@ -9,12 +9,17 @@ distinct drop in the variance when going from top-k to top-(k+1)".
 
 An F-test over the per-level replicate groups provides the statistical
 significance the paper's method name promises.
+
+Each parameter's OFAT sweep is independent of every other parameter's,
+so the sweeps are submitted as seeded work units through an
+:class:`~repro.runtime.backend.ExecutionBackend` and run in parallel
+with bitwise-identical results to the serial path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import stats
@@ -23,6 +28,8 @@ from repro.bench.ycsb import YCSBBenchmark
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
 from repro.errors import SearchError
+from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.events import EventBus
 from repro.sim.rng import SeedSequence
 from repro.workload.spec import WorkloadSpec
 
@@ -73,6 +80,52 @@ class AnovaRanking:
         return AnovaRanking([e for e in self.effects if e.name not in excluded])
 
 
+@dataclass(frozen=True)
+class SweepTask:
+    """One parameter's full OFAT sweep as an independent work unit.
+
+    ``rngs[i][j]`` is the pre-derived stream for the j-th replicate of
+    the i-th sweep value — derived in the parent so scheduling cannot
+    perturb seeding.
+    """
+
+    name: str
+    values: Tuple
+    configurations: Tuple[Configuration, ...]
+    rngs: Tuple[Tuple[np.random.Generator, ...], ...]
+    workload: WorkloadSpec
+    benchmark: YCSBBenchmark
+
+
+def execute_sweep_task(task: SweepTask) -> ParameterEffect:
+    """Benchmark one parameter's levels and score the effect
+    (module-level so process pools can pickle it)."""
+    groups: List[List[float]] = []
+    for config, level_rngs in zip(task.configurations, task.rngs):
+        groups.append(
+            [
+                task.benchmark.run(config, task.workload, seed=rng).mean_throughput
+                for rng in level_rngs
+            ]
+        )
+    level_means = [float(np.mean(g)) for g in groups]
+    repeats = len(task.rngs[0]) if task.rngs else 0
+    if len(groups) >= 2 and repeats >= 2:
+        f_stat, p_val = stats.f_oneway(*groups)
+        f_stat = float(f_stat) if np.isfinite(f_stat) else 0.0
+        p_val = float(p_val) if np.isfinite(p_val) else 1.0
+    else:
+        f_stat, p_val = 0.0, 1.0
+    return ParameterEffect(
+        name=task.name,
+        values=task.values,
+        level_means=tuple(level_means),
+        throughput_std=float(np.std(level_means)),
+        f_statistic=f_stat,
+        p_value=p_val,
+    )
+
+
 def rank_parameters(
     datastore: Datastore,
     workload: WorkloadSpec,
@@ -82,13 +135,17 @@ def rank_parameters(
     benchmark: Optional[YCSBBenchmark] = None,
     seed: int = 0,
     progress: Optional[Callable[[str], None]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    events: Optional[EventBus] = None,
 ) -> AnovaRanking:
     """One-factor-at-a-time ANOVA sweep over ``parameters``.
 
     For each parameter: benchmark each sweep value ``repeats`` times with
     everything else at defaults, take per-level mean throughputs, and
     score the parameter by their standard deviation plus a one-way
-    F-test over the replicate groups.
+    F-test over the replicate groups.  Sweeps run through ``backend``
+    (serial by default); seeds are derived in sweep order beforehand, so
+    every backend produces the same ranking.
     """
     if repeats < 1:
         raise SearchError("repeats must be >= 1")
@@ -97,38 +154,47 @@ def rank_parameters(
         p.name for p in datastore.space.performance_parameters()
     ]
     seeds = SeedSequence(seed)
+    events = events or EventBus()
 
-    effects: List[ParameterEffect] = []
+    tasks: List[SweepTask] = []
     for name in names:
         spec = datastore.space[name]
         values = list(spec.sweep_values(sweep_count))
-        groups: List[List[float]] = []
-        for value in values:
-            config = Configuration(datastore.space, {name: value})
-            group = [
-                bench.run(config, workload, seed=seeds.stream(f"{name}={value!r}")).mean_throughput
-                for _ in range(repeats)
-            ]
-            groups.append(group)
-        level_means = [float(np.mean(g)) for g in groups]
-        if len(groups) >= 2 and repeats >= 2:
-            f_stat, p_val = stats.f_oneway(*groups)
-            f_stat = float(f_stat) if np.isfinite(f_stat) else 0.0
-            p_val = float(p_val) if np.isfinite(p_val) else 1.0
-        else:
-            f_stat, p_val = 0.0, 1.0
-        effects.append(
-            ParameterEffect(
+        configs = tuple(Configuration(datastore.space, {name: value}) for value in values)
+        rngs = tuple(
+            tuple(seeds.stream(f"{name}={value!r}") for _ in range(repeats))
+            for value in values
+        )
+        tasks.append(
+            SweepTask(
                 name=name,
                 values=tuple(values),
-                level_means=tuple(level_means),
-                throughput_std=float(np.std(level_means)),
-                f_statistic=f_stat,
-                p_value=p_val,
+                configurations=configs,
+                rngs=rngs,
+                workload=workload,
+                benchmark=bench,
             )
         )
+
+    done = 0
+
+    def on_result(index: int, effect: ParameterEffect) -> None:
+        nonlocal done
+        done += 1
         if progress is not None:
-            progress(name)
+            progress(effect.name)
+        events.publish(
+            "anova.parameter",
+            f"anova: {effect.name}",
+            name=effect.name,
+            throughput_std=effect.throughput_std,
+            done=done,
+            total=len(tasks),
+        )
+
+    effects = resolve_backend(backend).map_tasks(
+        execute_sweep_task, tasks, on_result=on_result
+    )
     return AnovaRanking(effects)
 
 

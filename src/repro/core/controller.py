@@ -5,6 +5,12 @@ window, and when the regime shifts, search the surrogate and push the
 new configuration to the server.  The paper's future work is minimizing
 reconfiguration downtime; here a configurable penalty models the
 disruption (cache demotion is already modelled inside ``reconfigure``).
+
+*What* to tune for each window is delegated to a
+:class:`~repro.core.policies.DecisionPolicy`; the controller itself only
+executes decisions (search, push, account for downtime).  The paper's
+three modes remain available through the deprecated ``decision_mode``
+string shim, which builds the equivalent policy stack.
 """
 
 from __future__ import annotations
@@ -15,6 +21,12 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.config.space import Configuration
+from repro.core.policies import (
+    DecisionPolicy,
+    HysteresisPolicy,
+    WindowObservation,
+    make_policy,
+)
 from repro.core.rafiki import Rafiki
 from repro.datastore.base import Datastore
 from repro.errors import SearchError
@@ -56,11 +68,8 @@ class ControllerRun:
 class OnlineController:
     """Drives one simulated server through an RR window series."""
 
-    #: How the controller knows the window's read ratio when it decides:
-    #: "oracle"   — the current window's RR (the paper's setting: RR is
-    #:              stationary within a window, so a few minutes of
-    #:              observation plus a seconds-fast search approximate
-    #:              knowing it up front);
+    #: Deprecated string shim (see :mod:`repro.core.policies`):
+    #: "oracle"   — the current window's RR (the paper's setting);
     #: "reactive" — the previous window's RR (pure measurement lag);
     #: "forecast" — an online forecaster's one-step-ahead prediction
     #:              (the paper's future work, see repro.workload.forecast).
@@ -76,21 +85,42 @@ class OnlineController:
         reconfiguration_penalty_s: float = 5.0,
         decision_mode: str = "oracle",
         forecaster: Optional["RRForecaster"] = None,
+        policy: Optional[DecisionPolicy] = None,
         seed: SeedLike = 0,
     ):
-        """``rafiki=None`` runs the static-default baseline."""
-        if decision_mode not in self.DECISION_MODES:
-            raise SearchError(f"unknown decision mode {decision_mode!r}")
-        if decision_mode == "forecast" and forecaster is None:
-            raise SearchError("forecast mode needs a forecaster")
+        """``rafiki=None`` runs the static-default baseline.
+
+        Pass ``policy`` to plug in any :class:`DecisionPolicy` — it is
+        used verbatim, so wrap it in a
+        :class:`~repro.core.policies.HysteresisPolicy` yourself if you
+        want change-damping.  Without an explicit policy, the deprecated
+        ``decision_mode`` string is translated into the equivalent
+        policy wrapped with ``HysteresisPolicy(min_change=rr_change_threshold)``,
+        reproducing the historical controller behaviour.
+        """
         self.datastore = datastore
         self.rafiki = rafiki
         self.base_workload = base_workload
         self.window_seconds = window_seconds
         self.rr_change_threshold = rr_change_threshold
         self.reconfiguration_penalty_s = reconfiguration_penalty_s
-        self.decision_mode = decision_mode
         self.forecaster = forecaster
+        self._passive_forecaster: Optional[RRForecaster] = None
+        if policy is not None:
+            self.policy = policy
+        else:
+            if decision_mode not in self.DECISION_MODES:
+                raise SearchError(f"unknown decision mode {decision_mode!r}")
+            self.policy = HysteresisPolicy(
+                make_policy(decision_mode, forecaster),
+                min_change=rr_change_threshold,
+            )
+            if forecaster is not None and decision_mode != "forecast":
+                # Historical quirk kept for compatibility: a forecaster
+                # passed alongside a non-forecast mode still observes
+                # the series (useful for offline forecaster evaluation).
+                self._passive_forecaster = forecaster
+        self.decision_mode = getattr(self.policy, "name", "custom")
         self.seed = seed
 
     def run(self, rr_series: Sequence[float], load: bool = True) -> ControllerRun:
@@ -105,39 +135,36 @@ class OnlineController:
             model.load(self.base_workload.n_keys)
             model.settle()
 
+        self.policy.reset()
         run = ControllerRun()
-        last_decision_rr: Optional[float] = None
         previous_rr: Optional[float] = None
         for w, rr in enumerate(rr_series):
             rr = float(np.clip(rr, 0.0, 1.0))
-            decision_rr = self._decision_rr(rr, previous_rr)
             reconfigured = False
-            if (
-                self.rafiki is not None
-                and decision_rr is not None
-                and (
-                    last_decision_rr is None
-                    or abs(decision_rr - last_decision_rr) >= self.rr_change_threshold
+            if self.rafiki is not None:
+                decision_rr = self.policy.decide(
+                    WindowObservation(
+                        index=w, read_ratio=rr, previous_read_ratio=previous_rr
+                    )
                 )
-            ):
-                new_config = self.rafiki.recommend(decision_rr).configuration
-                if new_config != config:
-                    model.reconfigure(self.datastore.effective_knobs(new_config))
-                    config = new_config
-                    reconfigured = True
-                last_decision_rr = decision_rr
-            if self.forecaster is not None:
-                self.forecaster.update(rr)
+                if decision_rr is not None:
+                    new_config = self.rafiki.recommend(decision_rr).configuration
+                    if new_config != config:
+                        model.reconfigure(self.datastore.effective_knobs(new_config))
+                        config = new_config
+                        reconfigured = True
+            self.policy.observe(rr)
+            if self._passive_forecaster is not None:
+                self._passive_forecaster.update(rr)
             previous_rr = rr
 
             duration = self.window_seconds
             # Proactive (forecast-driven) reconfiguration happens at the
             # window boundary, overlapping idle time; reactive/oracle
             # reconfiguration eats into the window.
-            proactive = self.decision_mode == "forecast"
             lost = (
                 0.0
-                if (proactive or not reconfigured)
+                if (self.policy.proactive or not reconfigured)
                 else self.reconfiguration_penalty_s
             )
             steps = model.run(rr, duration - lost, dt=1.0)
@@ -153,11 +180,3 @@ class OnlineController:
                 )
             )
         return run
-
-    def _decision_rr(self, current_rr: float, previous_rr: Optional[float]):
-        """The RR the controller believes when choosing a configuration."""
-        if self.decision_mode == "oracle":
-            return current_rr
-        if self.decision_mode == "reactive":
-            return previous_rr  # None in the very first window: no info yet
-        return float(np.clip(self.forecaster.predict(), 0.0, 1.0))

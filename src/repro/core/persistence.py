@@ -22,7 +22,7 @@ import numpy as np
 from repro.config.space import ConfigurationSpace
 from repro.core.surrogate import SurrogateModel
 from repro.errors import TrainingError
-from repro.ml.ensemble import EnsembleConfig, NetworkEnsemble
+from repro.ml.ensemble import EnsembleConfig
 from repro.ml.network import FeedForwardNetwork
 from repro.ml.scaler import StandardScaler
 

@@ -14,8 +14,8 @@ a representative trace (or a base workload spec).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 from repro.bench.collection import DataCollectionCampaign
 from repro.bench.dataset import PerformanceDataset
@@ -27,12 +27,15 @@ from repro.core.anova import (
     rank_parameters,
     select_key_parameters,
 )
+from repro.core.cache import RecommendationCache
 from repro.core.search import ConfigurationOptimizer, OptimizationResult
 from repro.core.surrogate import SurrogateModel
 from repro.datastore.base import Datastore
 from repro.datastore.scylla import ScyllaLike
-from repro.errors import SearchError, TrainingError
+from repro.errors import TrainingError
 from repro.ml.ensemble import EnsembleConfig
+from repro.runtime.backend import ExecutionBackend
+from repro.runtime.events import EventBus, callback_subscriber
 from repro.sim.rng import SeedSequence
 from repro.workload.characterize import WorkloadCharacterization, characterize_trace
 from repro.workload.spec import WorkloadSpec
@@ -60,32 +63,41 @@ class Rafiki:
         key_parameters: Sequence[str],
         seed: int = 0,
         rr_cache_resolution: float = 0.05,
+        cache_capacity: int = 128,
     ):
         self.datastore = datastore
         self.surrogate = surrogate
         self.key_parameters = tuple(key_parameters)
         self.optimizer = ConfigurationOptimizer(surrogate, self.key_parameters)
         self.seeds = SeedSequence(seed)
-        self.rr_cache_resolution = rr_cache_resolution
-        self._cache: Dict[float, OptimizationResult] = {}
+        # Validates rr_cache_resolution > 0 up front: a zero/negative
+        # resolution used to surface as a ZeroDivisionError at the first
+        # recommend() call.
+        self.cache = RecommendationCache(
+            resolution=rr_cache_resolution, capacity=cache_capacity
+        )
+
+    @property
+    def rr_cache_resolution(self) -> float:
+        return self.cache.resolution
 
     def recommend(self, read_ratio: float, use_cache: bool = True) -> OptimizationResult:
         """Close-to-optimal configuration for the observed read ratio.
 
         Results are cached on a quantized RR grid: when the workload
         oscillates between regimes (Figure 3), revisiting a regime is
-        free — part of how Rafiki reacts within seconds.
+        free — part of how Rafiki reacts within seconds.  The cache is
+        LRU-bounded with hit/miss/eviction stats on ``self.cache``.
         """
-        if not (0.0 <= read_ratio <= 1.0):
-            raise SearchError("read_ratio must be in [0, 1]")
-        key = round(read_ratio / self.rr_cache_resolution) * self.rr_cache_resolution
-        key = round(key, 6)
-        if use_cache and key in self._cache:
-            return self._cache[key]
+        key = self.cache.quantize(read_ratio)
+        if use_cache:
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
         result = self.optimizer.optimize(
             key, seed=self.seeds.stream(f"search-rr{key}")
         )
-        self._cache[key] = result
+        self.cache.put(key, result)
         return result
 
     def predicted_throughput(self, read_ratio: float, config: Configuration) -> float:
@@ -113,7 +125,15 @@ class Rafiki:
 
 
 class RafikiPipeline:
-    """Offline phases: characterize -> ANOVA -> collect -> train."""
+    """Offline phases: characterize -> ANOVA -> collect -> train.
+
+    Execution strategy and progress reporting are injected: ``backend``
+    decides how the embarrassingly parallel stages (ANOVA sweeps, the
+    collection campaign, ensemble training) are scheduled, and ``events``
+    receives structured progress on the ``pipeline.*`` / ``anova.*`` /
+    ``collect.*`` topics.  The legacy ``progress`` string callback is a
+    deprecated shim, bridged onto the bus.
+    """
 
     def __init__(
         self,
@@ -129,6 +149,8 @@ class RafikiPipeline:
         seed: int = 0,
         cassandra_ranking: Optional[AnovaRanking] = None,
         progress: Optional[Callable[[str], None]] = None,
+        backend: Optional[ExecutionBackend] = None,
+        events: Optional[EventBus] = None,
     ):
         self.datastore = datastore
         self.base_workload = base_workload
@@ -141,13 +163,19 @@ class RafikiPipeline:
         self.key_parameter_count = key_parameter_count
         self.seed = seed
         self.cassandra_ranking = cassandra_ranking
-        self.progress = progress or (lambda msg: None)
+        self.backend = backend
+        self.events = events or EventBus()
+        if progress is not None:  # deprecated: subscribe the callback
+            self.events.subscribe(callback_subscriber(progress))
+
+    def _stage(self, message: str, **payload) -> None:
+        self.events.publish("pipeline.stage", message, **payload)
 
     # -- stage 1 ------------------------------------------------------------------
 
     def characterize(self, trace: Trace) -> WorkloadCharacterization:
         """§3.3: RR windows + exponential KRD fit from a raw trace."""
-        self.progress("characterizing workload trace")
+        self._stage("characterizing workload trace", stage="characterize")
         return characterize_trace(trace)
 
     # -- stage 2 ------------------------------------------------------------------
@@ -161,21 +189,25 @@ class RafikiPipeline:
         top up by variance until five parameters remain.
         """
         if isinstance(self.datastore, ScyllaLike) and self.cassandra_ranking is not None:
-            self.progress("deriving ScyllaDB key parameters from Cassandra ANOVA")
+            self._stage(
+                "deriving ScyllaDB key parameters from Cassandra ANOVA",
+                stage="identify",
+            )
             ranking = self.cassandra_ranking.without(
                 self.datastore.autotuned_parameters
             )
             selected = self._top_up(ranking, self.key_parameter_count)
             return ranking, selected
 
-        self.progress("running one-factor-at-a-time ANOVA")
+        self._stage("running one-factor-at-a-time ANOVA", stage="identify")
         ranking = rank_parameters(
             self.datastore,
             self.base_workload,
             repeats=self.anova_repeats,
             benchmark=self.benchmark,
             seed=self.seed,
-            progress=lambda name: self.progress(f"  anova: {name}"),
+            backend=self.backend,
+            events=self.events,
         )
         selected = select_key_parameters(ranking)
         # Consolidate the flush-parameter family (§4.5), then keep the
@@ -204,7 +236,7 @@ class RafikiPipeline:
 
     def collect(self, key_parameters: Sequence[str]) -> PerformanceDataset:
         """§3.5/§4.2: the 11x20 campaign with faulty samples dropped."""
-        self.progress("collecting training data")
+        self._stage("collecting training data", stage="collect")
         campaign = DataCollectionCampaign(
             self.datastore,
             self.base_workload,
@@ -214,6 +246,8 @@ class RafikiPipeline:
             n_faulty=self.n_faulty,
             benchmark=self.benchmark,
             seed=self.seed,
+            backend=self.backend,
+            events=self.events,
         )
         return campaign.run()
 
@@ -223,13 +257,13 @@ class RafikiPipeline:
         self, dataset: PerformanceDataset, key_parameters: Sequence[str]
     ) -> SurrogateModel:
         """§3.6: fit the Bayesian-regularized DNN ensemble."""
-        self.progress("training surrogate model")
+        self._stage("training surrogate model", stage="train")
         surrogate = SurrogateModel(
             self.datastore.space,
             key_parameters,
             ensemble_config=self.ensemble_config,
         )
-        surrogate.fit(dataset, seed=self.seed)
+        surrogate.fit(dataset, seed=self.seed, backend=self.backend)
         return surrogate
 
     # -- all together ----------------------------------------------------------------

@@ -18,9 +18,8 @@ All searches report a cost ledger so the §4.8 claim (GA+surrogate uses
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -19,6 +19,7 @@ from repro.bench.dataset import PerformanceDataset
 from repro.config.space import Configuration, ConfigurationSpace
 from repro.errors import TrainingError
 from repro.ml.ensemble import EnsembleConfig, NetworkEnsemble
+from repro.runtime.backend import ExecutionBackend
 from repro.sim.rng import SeedLike
 
 
@@ -64,15 +65,25 @@ class SurrogateModel:
 
     # -- training --------------------------------------------------------------
 
-    def fit(self, dataset: PerformanceDataset, seed: SeedLike = 0) -> "SurrogateModel":
-        """Train on a performance dataset (features must match)."""
+    def fit(
+        self,
+        dataset: PerformanceDataset,
+        seed: SeedLike = 0,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> "SurrogateModel":
+        """Train on a performance dataset (features must match).
+
+        ``backend`` fans per-member training out through an
+        :class:`~repro.runtime.backend.ExecutionBackend` (serial when
+        omitted); predictions are backend-independent.
+        """
         if tuple(dataset.feature_parameters) != self.feature_parameters:
             raise TrainingError(
                 "dataset feature parameters "
                 f"{dataset.feature_parameters} != surrogate's {self.feature_parameters}"
             )
         t0 = time.perf_counter()
-        self.ensemble.fit(dataset.features(), dataset.targets(), seed=seed)
+        self.ensemble.fit(dataset.features(), dataset.targets(), seed=seed, backend=backend)
         self.stats.fit_wall_seconds = time.perf_counter() - t0
         self.stats.n_training_samples = len(dataset)
         return self

@@ -8,7 +8,7 @@ creation is the analogue of the paper's per-sample Docker reset (§4.2).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Tuple
 
 from repro.config.space import Configuration, ConfigurationSpace
 from repro.errors import ConfigurationError

@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
 from repro.errors import DatastoreError
-from repro.lsm.analytic import AnalyticLSMModel, StepResult, WorkloadProfile
+from repro.lsm.analytic import AnalyticLSMModel, WorkloadProfile
 from repro.sim.rng import SeedLike, SeedSequence, derive_rng
 
 #: Operations/second one benchmark client ("shooter") can generate.

@@ -17,13 +17,13 @@ it agrees with the materialized engine on ordering and trends.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional
 from collections import deque
 
 import numpy as np
 
-from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.config.cassandra import LEVELED
 from repro.lsm.compaction import (
     BUCKET_HIGH,
     BUCKET_LOW,
@@ -275,9 +275,13 @@ class AnalyticLSMModel:
 
         if r > 0:
             iops = self.hardware.disk_rand_iops * self.hardware.disk_count
-            if disk_probes > 0:
+            # A denormal read ratio can underflow these products to 0.0,
+            # which would divide by zero; an underflowed denominator means
+            # the cap is unbounded, so it imposes no constraint.
+            if r * disk_probes > 0:
                 caps.append(iops / (r * disk_probes))
-            caps.append(self.knobs.concurrent_reads / (r * costs.read_thread_hold))
+            if r * costs.read_thread_hold > 0:
+                caps.append(self.knobs.concurrent_reads / (r * costs.read_thread_hold))
 
         return max(_soft_min(caps) * self.run_bias, 1.0)
 

@@ -14,8 +14,8 @@ result when a task completes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
 
 from repro.config.cassandra import LEVELED, SIZE_TIERED
 from repro.errors import ConfigurationError

@@ -10,7 +10,7 @@ foreground queries exactly as the paper describes (§2.2.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, Dict, List, Optional, Set
 from collections import deque
 

@@ -8,7 +8,7 @@ merges several into new ones and discards the inputs (paper §2.2.1).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.record import Record

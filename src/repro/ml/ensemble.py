@@ -11,7 +11,7 @@ error.  The final performance value would be an average of 14 networks"
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.errors import TrainingError
 from repro.ml.network import FeedForwardNetwork
 from repro.ml.scaler import StandardScaler
 from repro.ml.train import TrainingResult, train_bayesian_lm
+from repro.runtime.backend import ExecutionBackend, resolve_backend
 from repro.sim.rng import SeedLike, derive_rng
 
 #: Paper defaults (§3.6.2, §4.3).
@@ -41,6 +42,25 @@ class EnsembleConfig:
             raise TrainingError("ensemble needs at least one network")
         if not (0.0 <= self.prune_fraction < 1.0):
             raise TrainingError("prune_fraction must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class MemberTask:
+    """One ensemble member's training job (standardized data + seed)."""
+
+    member: int
+    seed: int
+    layer_sizes: Tuple[int, ...]
+    x: np.ndarray
+    y: np.ndarray
+    max_epochs: int
+
+
+def train_member_task(task: MemberTask) -> Tuple[FeedForwardNetwork, TrainingResult]:
+    """Initialize and train one member (module-level for picklability)."""
+    net = FeedForwardNetwork(task.layer_sizes, rng=np.random.default_rng(task.seed))
+    result = train_bayesian_lm(net, task.x, task.y, max_epochs=task.max_epochs)
+    return net, result
 
 
 class NetworkEnsemble:
@@ -66,8 +86,20 @@ class NetworkEnsemble:
     def active_count(self) -> int:
         return len(self.networks)
 
-    def fit(self, x: np.ndarray, y: np.ndarray, seed: SeedLike = 0) -> "NetworkEnsemble":
-        """Train the full ensemble, then prune by training error."""
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        seed: SeedLike = 0,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> "NetworkEnsemble":
+        """Train the full ensemble, then prune by training error.
+
+        Each member trains from its own pre-derived stream (spawned from
+        ``seed`` up front), so members are independent work units:
+        ``backend`` fans the training out across processes with results
+        identical to a serial run.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y, dtype=float).ravel()
         if x.ndim != 2 or x.shape[0] != y.shape[0]:
@@ -77,14 +109,24 @@ class NetworkEnsemble:
 
         rng = derive_rng(seed)
         layer_sizes = [x.shape[1], *self.config.hidden_layers, 1]
-        trained: List[tuple] = []
-        for _ in range(self.config.n_networks):
-            net = FeedForwardNetwork(layer_sizes, rng=rng)
-            result = train_bayesian_lm(
-                net, xs, ys, max_epochs=self.config.max_epochs
+        member_seeds = [
+            int(rng.integers(0, 2**63 - 1)) for _ in range(self.config.n_networks)
+        ]
+        tasks = [
+            MemberTask(
+                member=i,
+                seed=member_seed,
+                layer_sizes=tuple(layer_sizes),
+                x=xs,
+                y=ys,
+                max_epochs=self.config.max_epochs,
             )
-            trained.append((net, result))
+            for i, member_seed in enumerate(member_seeds)
+        ]
+        trained = resolve_backend(backend).map_tasks(train_member_task, tasks)
 
+        # Stable sort + per-member training being scheduling-independent
+        # keeps the pruned ensemble identical across backends.
         trained.sort(key=lambda pair: pair[1].train_mse)
         keep = max(
             1,

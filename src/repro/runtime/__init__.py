@@ -1,0 +1,37 @@
+"""Execution runtime: backends and structured progress events.
+
+The offline Rafiki stages — the 220-point data-collection campaign
+(§4.2), the ~25-parameter OFAT ANOVA sweep (§3.4), and the 20-net
+ensemble training (§3.6) — are all embarrassingly parallel: every work
+unit is independent and carries its own pre-derived random stream.  This
+package provides the two pieces that let those stages scale with cores
+without giving up the repo's core invariant (bitwise determinism under a
+seed):
+
+* :class:`ExecutionBackend` — ``map_tasks(fn, tasks)`` over independent,
+  picklable work units.  :class:`SerialBackend` runs them inline;
+  :class:`ProcessPoolBackend` fans them out over worker processes.
+  Because every task ships its own :class:`~repro.sim.rng.SeedSequence`-
+  derived generator, results are identical regardless of scheduling.
+* :class:`EventBus` — structured pub/sub progress events replacing the
+  ad-hoc ``progress: Callable[[str], None]`` callbacks that used to be
+  threaded through :class:`~repro.core.rafiki.RafikiPipeline`.
+"""
+
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
+from repro.runtime.events import Event, EventBus, callback_subscriber
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "Event",
+    "EventBus",
+    "callback_subscriber",
+]

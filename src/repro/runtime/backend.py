@@ -1,0 +1,139 @@
+"""Execution backends for independent work units.
+
+Contract: ``map_tasks(fn, tasks)`` applies ``fn`` to every task and
+returns the results **in task order**.  Tasks must be self-contained —
+in particular, any randomness a task consumes must travel *inside* the
+task as a pre-derived :class:`numpy.random.Generator` (see
+:class:`~repro.sim.rng.SeedSequence`).  Under that discipline the
+results are bitwise-identical no matter how the backend schedules the
+work, which is what lets the determinism test suite run the same
+pipeline through :class:`SerialBackend` and :class:`ProcessPoolBackend`
+and compare artifacts exactly.
+
+``on_result(index, result)`` is an optional completion hook, invoked in
+the *parent* process as results arrive (completion order for the process
+pool, task order for the serial backend).  Progress reporting hangs off
+this hook so workers never need a channel back to the UI.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, List, Optional, Sequence
+
+__all__ = [
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+]
+
+
+class ExecutionBackend:
+    """Protocol for executing independent tasks."""
+
+    def map_tasks(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Sequence[Any],
+        on_result: Optional[Callable[[int, Any], None]] = None,
+    ) -> List[Any]:
+        """Apply ``fn`` to each task; return results in task order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SerialBackend(ExecutionBackend):
+    """Run every task inline, in order — the reference scheduling."""
+
+    def map_tasks(self, fn, tasks, on_result=None) -> List[Any]:
+        results: List[Any] = []
+        for index, task in enumerate(tasks):
+            result = fn(task)
+            results.append(result)
+            if on_result is not None:
+                on_result(index, result)
+        return results
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan tasks out over worker processes.
+
+    ``fn`` and the tasks must be picklable (module-level functions and
+    plain dataclasses/arrays).  The pool is created lazily on first use
+    and reused across calls; ``close()`` (or use as a context manager)
+    shuts it down.  With ``workers=1`` or a single task, execution falls
+    back to the serial path to avoid pointless process overhead.
+    """
+
+    def __init__(self, workers: Optional[int] = None, max_pending: Optional[int] = None):
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers or os.cpu_count() or 1
+        #: Cap on simultaneously submitted futures, bounding memory for
+        #: large campaigns; defaults to 4 in-flight tasks per worker.
+        self.max_pending = max_pending or 4 * self.workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        return self._executor
+
+    def map_tasks(self, fn, tasks, on_result=None) -> List[Any]:
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            return SerialBackend().map_tasks(fn, tasks, on_result=on_result)
+
+        pool = self._pool()
+        results: List[Any] = [None] * len(tasks)
+        pending = {}
+        next_index = 0
+
+        def drain(return_when):
+            nonlocal pending
+            done, not_done = wait(pending, return_when=return_when)
+            for future in done:
+                index = pending[future]
+                results[index] = future.result()  # re-raises worker errors
+                if on_result is not None:
+                    on_result(index, results[index])
+            pending = {f: pending[f] for f in not_done}
+
+        while next_index < len(tasks):
+            while next_index < len(tasks) and len(pending) < self.max_pending:
+                pending[pool.submit(fn, tasks[next_index])] = next_index
+                next_index += 1
+            drain(FIRST_COMPLETED)
+        while pending:
+            drain(FIRST_COMPLETED)
+        return results
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+
+def resolve_backend(
+    backend: Optional[ExecutionBackend] = None, workers: Optional[int] = None
+) -> ExecutionBackend:
+    """Normalize backend arguments: an explicit backend wins; otherwise
+    ``workers > 1`` selects a process pool and ``workers = 1`` is serial."""
+    if backend is not None:
+        return backend
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > 1:
+            return ProcessPoolBackend(workers)
+    return SerialBackend()

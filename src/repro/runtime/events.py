@@ -1,0 +1,86 @@
+"""Structured progress events.
+
+The seed repo threaded ``progress: Callable[[str], None]`` callbacks
+through the pipeline, which meant every layer had to agree on a string
+format and nothing downstream could filter or aggregate.  The
+:class:`EventBus` replaces that: producers publish :class:`Event`
+records on dotted topics (``"collect.sample"``, ``"anova.parameter"``,
+``"train.member"``, ``"pipeline.stage"``) and consumers subscribe to
+exact topics or topic prefixes.
+
+The bus is intentionally synchronous and in-process: it is a progress /
+observability channel, not a task queue (that is the execution
+backend's job, see :mod:`repro.runtime.backend`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["Event", "EventBus", "callback_subscriber"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured progress record."""
+
+    topic: str
+    message: str = ""
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # human-readable fallback rendering
+        return f"[{self.topic}] {self.message}" if self.message else f"[{self.topic}]"
+
+
+class EventBus:
+    """Synchronous pub/sub over dotted topics.
+
+    A subscription to ``"collect"`` receives ``"collect"`` and every
+    subtopic (``"collect.sample"``, ...); ``topic=None`` receives
+    everything.  ``subscribe`` returns an unsubscribe callable.
+    """
+
+    def __init__(self):
+        self._subscribers: List[Tuple[Optional[str], Callable[[Event], None]]] = []
+        self.published_count = 0
+
+    def subscribe(
+        self, handler: Callable[[Event], None], topic: Optional[str] = None
+    ) -> Callable[[], None]:
+        entry = (topic, handler)
+        self._subscribers.append(entry)
+
+        def unsubscribe() -> None:
+            if entry in self._subscribers:
+                self._subscribers.remove(entry)
+
+        return unsubscribe
+
+    @staticmethod
+    def _matches(subscription: Optional[str], topic: str) -> bool:
+        if subscription is None or subscription == topic:
+            return True
+        return topic.startswith(subscription + ".")
+
+    def publish(self, topic: str, message: str = "", **payload: Any) -> Event:
+        event = Event(topic=topic, message=message, payload=payload)
+        self.published_count += 1
+        for subscription, handler in list(self._subscribers):
+            if self._matches(subscription, topic):
+                handler(event)
+        return event
+
+
+def callback_subscriber(progress: Callable[[str], None]) -> Callable[[Event], None]:
+    """Adapt a legacy ``progress(msg)`` callback into an event handler.
+
+    Lets code that migrated to the bus keep honouring the deprecated
+    ``progress=`` constructor arguments: the callback sees each event's
+    human-readable message, exactly as the old string callbacks did.
+    """
+
+    def handler(event: Event) -> None:
+        progress(event.message or event.topic)
+
+    return handler

@@ -20,7 +20,6 @@ response *shape* is.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 US = 1e-6  # one microsecond in seconds

@@ -11,7 +11,7 @@ inflating their effective service time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.hardware import HardwareSpec
 

@@ -11,9 +11,8 @@ like).
 
 from __future__ import annotations
 
-import math
 from collections import deque
-from typing import Deque, List
+from typing import Deque
 
 import numpy as np
 

@@ -23,7 +23,7 @@ window — the dynamism that breaks slow online tuners.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

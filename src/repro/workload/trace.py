@@ -13,7 +13,7 @@ from typing import Iterator, List, Sequence, Tuple
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workload.spec import READ, WRITE
+from repro.workload.spec import READ
 
 #: The paper's characterization window: 15 minutes (§3.3, Figure 3).
 DEFAULT_WINDOW_SECONDS = 15 * 60

@@ -1,0 +1,130 @@
+"""Serial/parallel equivalence: the repo's core invariant under the
+runtime layer.
+
+Every offline stage derives its per-task random streams *before*
+submitting work to a backend, so a process pool must produce
+bitwise-identical artifacts — dataset, ANOVA ranking, trained-ensemble
+predictions, and the full pipeline's recommended configuration — to a
+serial run under the same seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.core.anova import rank_parameters
+from repro.core.rafiki import RafikiPipeline
+from repro.datastore import CassandraLike
+from repro.ml.ensemble import EnsembleConfig, NetworkEnsemble
+from repro.runtime import ProcessPoolBackend, SerialBackend
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=1_000_000)
+
+
+@pytest.fixture(scope="module")
+def pool():
+    with ProcessPoolBackend(workers=2) as backend:
+        yield backend
+
+
+class TestStageEquivalence:
+    def test_collection_campaign_identical(self, cassandra, workload, pool):
+        def run(backend):
+            return DataCollectionCampaign(
+                cassandra,
+                workload,
+                key_parameters=CASSANDRA_KEY_PARAMETERS,
+                n_workloads=3,
+                n_configurations=4,
+                n_faulty=2,
+                benchmark=YCSBBenchmark(cassandra, run_seconds=10),
+                seed=11,
+                backend=backend,
+            ).run()
+
+        serial = run(SerialBackend())
+        parallel = run(pool)
+        assert np.array_equal(serial.targets(), parallel.targets())
+        assert np.array_equal(serial.features(), parallel.features())
+
+    def test_anova_ranking_identical(self, cassandra, workload, pool):
+        def run(backend):
+            return rank_parameters(
+                cassandra,
+                workload,
+                parameters=["compaction_method", "concurrent_writes", "concurrent_reads"],
+                repeats=2,
+                benchmark=YCSBBenchmark(cassandra, run_seconds=10),
+                seed=7,
+                backend=backend,
+            )
+
+        serial = run(SerialBackend())
+        parallel = run(pool)
+        assert serial.names() == parallel.names()
+        for a, b in zip(serial, parallel):
+            assert a.throughput_std == b.throughput_std
+            assert a.level_means == b.level_means
+            assert a.p_value == b.p_value
+
+    def test_trained_ensemble_identical(self, pool):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(0, 1, size=(50, 4))
+        y = 40_000 + 20_000 * np.sin(3 * x[:, 0]) + 5_000 * x[:, 1]
+
+        def fit(backend):
+            return NetworkEnsemble(EnsembleConfig(n_networks=4, max_epochs=20)).fit(
+                x, y, seed=13, backend=backend
+            )
+
+        serial = fit(SerialBackend())
+        parallel = fit(pool)
+        assert np.array_equal(serial.predict(x), parallel.predict(x))
+        assert [r.train_mse for r in serial.training_results] == [
+            r.train_mse for r in parallel.training_results
+        ]
+
+
+class TestFullPipelineEquivalence:
+    def test_same_seed_same_artifacts_across_backends(self, cassandra, workload, pool):
+        """Acceptance: RafikiPipeline.run produces identical datasets,
+        surrogates, and recommended configurations on both backends."""
+
+        def run(backend):
+            pipe = RafikiPipeline(
+                cassandra,
+                workload,
+                benchmark=YCSBBenchmark(cassandra, run_seconds=10),
+                ensemble_config=EnsembleConfig(n_networks=2, max_epochs=20),
+                n_workloads=3,
+                n_configurations=4,
+                n_faulty=1,
+                seed=21,
+                backend=backend,
+            )
+            return pipe.run(key_parameters=CASSANDRA_KEY_PARAMETERS)
+
+        rafiki_s, report_s = run(SerialBackend())
+        rafiki_p, report_p = run(pool)
+
+        assert np.array_equal(report_s.dataset.targets(), report_p.dataset.targets())
+        probe = report_s.surrogate.encode(0.5, cassandra.default_configuration())[None, :]
+        assert np.array_equal(
+            report_s.surrogate.predict_features(probe),
+            report_p.surrogate.predict_features(probe),
+        )
+        best_s = rafiki_s.recommend(0.8)
+        best_p = rafiki_p.recommend(0.8)
+        assert best_s.configuration == best_p.configuration
+        assert best_s.predicted_throughput == best_p.predicted_throughput

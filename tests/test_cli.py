@@ -51,6 +51,29 @@ class TestTrain:
         assert blob["networks"]
 
 
+class TestWorkers:
+    def test_parallel_collect_matches_serial(self, artifacts, tmp_path):
+        """--workers N changes scheduling, not results."""
+        serial_dataset, _ = artifacts
+        parallel_dataset = tmp_path / "dataset-parallel.json"
+        rc = main(
+            [
+                "collect",
+                "--out", str(parallel_dataset),
+                "--workloads", "4",
+                "--configurations", "5",
+                "--faulty", "1",
+                "--seed", "3",
+                "--workers", "2",
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        assert json.loads(parallel_dataset.read_text()) == json.loads(
+            serial_dataset.read_text()
+        )
+
+
 class TestRecommend:
     def test_prints_configuration_json(self, artifacts, capsys):
         _, surrogate = artifacts

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.bench.ycsb import YCSBBenchmark
-from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.config.cassandra import LEVELED
 from repro.datastore import CassandraLike
 from repro.workload.spec import WorkloadSpec
 

@@ -1,7 +1,5 @@
-import numpy as np
 import pytest
 
-from repro.bench.ycsb import YCSBBenchmark
 from repro.core.anova import (
     AnovaRanking,
     ParameterEffect,

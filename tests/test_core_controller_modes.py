@@ -1,6 +1,5 @@
 """Decision-mode behaviour of the online controller."""
 
-import numpy as np
 import pytest
 
 from repro.core.controller import OnlineController
@@ -77,9 +76,23 @@ class TestDecisionModes:
             rr_change_threshold=0.01, decision_mode="forecast",
             forecaster=forecaster,
         )
-        ctrl.run([0.2, 0.9], load=False)
-        # Window 0: the prior (0.5); window 1: last value (0.2).
-        assert rafiki.asked == [0.5, 0.2]
+        ctrl.run([0.2, 0.9, 0.4], load=False)
+        # Window 0: the forecaster has seen nothing -> no consult (cold
+        # start, like reactive mode's first window); window 1: last
+        # value (0.2); window 2: last value (0.9).
+        assert rafiki.asked == [0.2, 0.9]
+
+    def test_forecast_cold_start_skips_first_window(self, cassandra, workload):
+        """An unfitted forecaster's prior must not drive a reconfiguration."""
+        rafiki = RecordingRafiki(cassandra)
+        ctrl = OnlineController(
+            cassandra, rafiki, workload, window_seconds=30,
+            rr_change_threshold=0.01, decision_mode="forecast",
+            forecaster=MarkovRegimeForecaster(),
+        )
+        run = ctrl.run([0.9], load=False)
+        assert rafiki.asked == []
+        assert not run.events[0].reconfigured
 
     def test_forecaster_updated_with_observations(self, cassandra, workload):
         forecaster = MarkovRegimeForecaster()

@@ -1,8 +1,7 @@
-import numpy as np
 import pytest
 
 from repro.bench.ycsb import YCSBBenchmark
-from repro.config import CASSANDRA_KEY_PARAMETERS, SCYLLA_KEY_PARAMETERS
+from repro.config import CASSANDRA_KEY_PARAMETERS
 from repro.core.anova import AnovaRanking, ParameterEffect
 from repro.core.rafiki import Rafiki, RafikiPipeline
 from repro.datastore import CassandraLike, ScyllaLike
@@ -66,6 +65,40 @@ class TestPipeline:
         rafiki, _ = pipeline_result
         with pytest.raises(SearchError):
             rafiki.recommend(1.2)
+
+    def test_invalid_cache_resolution_rejected_up_front(self, pipeline_result, cassandra):
+        """A zero/negative resolution used to be a silent ZeroDivisionError."""
+        _, report = pipeline_result
+        for bad in (0.0, -0.05):
+            with pytest.raises(SearchError, match="rr_cache_resolution"):
+                Rafiki(
+                    cassandra,
+                    report.surrogate,
+                    report.key_parameters,
+                    rr_cache_resolution=bad,
+                )
+
+    def test_boundary_read_ratios_quantize_onto_grid(self, pipeline_result, cassandra):
+        """RR 0.0 and 1.0 must land on valid grid keys for any resolution."""
+        _, report = pipeline_result
+        rafiki = Rafiki(
+            cassandra,
+            report.surrogate,
+            report.key_parameters,
+            rr_cache_resolution=0.3,  # does not divide 1 evenly
+        )
+        assert rafiki.cache.quantize(0.0) == 0.0
+        assert 0.0 <= rafiki.cache.quantize(1.0) <= 1.0
+
+    def test_cache_stats_and_bounds(self, pipeline_result, cassandra):
+        _, report = pipeline_result
+        rafiki = Rafiki(cassandra, report.surrogate, report.key_parameters)
+        assert rafiki.cache.capacity == 128
+        a = rafiki.recommend(0.80)
+        b = rafiki.recommend(0.81)  # same band -> cache hit
+        assert a is b
+        assert rafiki.cache.stats.hits == 1
+        assert rafiki.cache.stats.misses == 1
 
     def test_predicted_throughput_positive(self, pipeline_result, cassandra):
         rafiki, _ = pipeline_result

@@ -7,7 +7,6 @@ from repro.datastore.scylla import ScyllaAutotuner
 from repro.errors import DatastoreError
 from repro.lsm.analytic import AnalyticLSMModel
 from repro.lsm.engine import LSMEngine
-from repro.workload.spec import WorkloadSpec
 
 
 @pytest.fixture(scope="module")

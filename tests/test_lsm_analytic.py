@@ -2,9 +2,8 @@ import numpy as np
 import pytest
 
 from repro.config.cassandra import LEVELED, SIZE_TIERED
-from repro.lsm.analytic import AnalyticLSMModel, WorkloadProfile, _soft_min
+from repro.lsm.analytic import AnalyticLSMModel, _soft_min
 
-from tests.conftest import make_knobs
 
 MB = 1024 * 1024
 

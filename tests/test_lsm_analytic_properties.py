@@ -1,6 +1,5 @@
 """Property-based tests on the analytic model's invariants."""
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

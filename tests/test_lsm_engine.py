@@ -1,6 +1,5 @@
-import pytest
 
-from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.config.cassandra import LEVELED
 from repro.lsm.engine import LSMEngine
 from repro.sim.clock import SimClock
 
@@ -192,9 +191,6 @@ class TestCostAccounting:
 
     def test_write_heavier_with_background_compaction(self):
         """Compaction backlog should slow foreground ops (shared disk)."""
-        quiet = LSMEngine(make_knobs())
-        fill(quiet, 200)
-        t_quiet = quiet.clock.now
         busy = LSMEngine(make_knobs(compaction_throughput_bytes=1024))
         fill(busy, 3000)  # builds a backlog that drains very slowly
         t0 = busy.clock.now

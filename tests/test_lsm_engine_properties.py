@@ -5,7 +5,6 @@ compaction strategies — the engine must return exactly what a plain
 dictionary model returns.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """The documented public API stays importable from the package root."""
 
-import pytest
 
 import repro
 from repro.errors import (

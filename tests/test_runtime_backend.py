@@ -1,0 +1,108 @@
+"""Execution backends: ordering, hooks, fallbacks, error propagation."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import ProcessPoolBackend, SerialBackend, resolve_backend
+
+
+def square(x):
+    return x * x
+
+
+def draw(rng):
+    """Consume a task-embedded stream (the seeding discipline)."""
+    return float(rng.random())
+
+
+def boom(x):
+    raise ValueError(f"task {x} failed")
+
+
+class TestSerialBackend:
+    def test_results_in_task_order(self):
+        assert SerialBackend().map_tasks(square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_tasks(self):
+        assert SerialBackend().map_tasks(square, []) == []
+
+    def test_on_result_hook(self):
+        seen = []
+        SerialBackend().map_tasks(square, [2, 3], on_result=lambda i, r: seen.append((i, r)))
+        assert seen == [(0, 4), (1, 9)]
+
+    def test_error_propagates(self):
+        with pytest.raises(ValueError):
+            SerialBackend().map_tasks(boom, [1])
+
+
+class TestProcessPoolBackend:
+    def test_results_in_task_order(self):
+        with ProcessPoolBackend(workers=2) as backend:
+            assert backend.map_tasks(square, list(range(10))) == [i * i for i in range(10)]
+
+    def test_on_result_sees_every_task(self):
+        seen = []
+        with ProcessPoolBackend(workers=2) as backend:
+            backend.map_tasks(square, [1, 2, 3, 4], on_result=lambda i, r: seen.append(i))
+        assert sorted(seen) == [0, 1, 2, 3]
+
+    def test_single_worker_falls_back_to_serial(self):
+        backend = ProcessPoolBackend(workers=1)
+        assert backend.map_tasks(square, [2, 3]) == [4, 9]
+        assert backend._executor is None  # no pool was spun up
+
+    def test_single_task_falls_back_to_serial(self):
+        backend = ProcessPoolBackend(workers=4)
+        assert backend.map_tasks(square, [5]) == [25]
+        assert backend._executor is None
+
+    def test_bounded_pending_queue(self):
+        with ProcessPoolBackend(workers=2, max_pending=3) as backend:
+            assert backend.map_tasks(square, list(range(20))) == [i * i for i in range(20)]
+
+    def test_seeded_tasks_scheduling_independent(self):
+        """Identical task streams -> identical results on any backend."""
+        tasks_a = [np.random.default_rng(s) for s in (7, 8, 9, 10)]
+        tasks_b = [np.random.default_rng(s) for s in (7, 8, 9, 10)]
+        serial = SerialBackend().map_tasks(draw, tasks_a)
+        with ProcessPoolBackend(workers=2) as backend:
+            parallel = backend.map_tasks(draw, tasks_b)
+        assert serial == parallel
+
+    def test_error_propagates(self):
+        with ProcessPoolBackend(workers=2) as backend:
+            with pytest.raises(ValueError):
+                backend.map_tasks(boom, [1, 2])
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=0)
+
+    def test_close_idempotent(self):
+        backend = ProcessPoolBackend(workers=2)
+        backend.map_tasks(square, [1, 2])
+        backend.close()
+        backend.close()
+        # Reusable after close: a fresh pool is created lazily.
+        assert backend.map_tasks(square, [3, 4]) == [9, 16]
+
+
+class TestResolveBackend:
+    def test_explicit_backend_wins(self):
+        backend = SerialBackend()
+        assert resolve_backend(backend, workers=8) is backend
+
+    def test_workers_selects_pool(self):
+        backend = resolve_backend(workers=2)
+        assert isinstance(backend, ProcessPoolBackend)
+        assert backend.workers == 2
+
+    def test_default_is_serial(self):
+        assert isinstance(resolve_backend(), SerialBackend)
+        assert isinstance(resolve_backend(workers=1), SerialBackend)
+
+    def test_invalid_workers_rejected(self):
+        for bad in (0, -3):
+            with pytest.raises(ValueError, match="workers"):
+                resolve_backend(workers=bad)

@@ -1,0 +1,68 @@
+"""EventBus: topic matching, unsubscribe, legacy callback adapter."""
+
+from repro.runtime import EventBus, callback_subscriber
+
+
+class TestEventBus:
+    def test_publish_returns_event(self):
+        bus = EventBus()
+        event = bus.publish("collect.sample", "sample 1/10", done=1, total=10)
+        assert event.topic == "collect.sample"
+        assert event.payload == {"done": 1, "total": 10}
+
+    def test_subscribe_all(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        bus.publish("a", "x")
+        bus.publish("b.c", "y")
+        assert [e.topic for e in seen] == ["a", "b.c"]
+
+    def test_topic_prefix_matching(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="collect")
+        bus.publish("collect", "root")
+        bus.publish("collect.sample", "child")
+        bus.publish("collection", "not a subtopic")
+        bus.publish("anova.parameter", "other")
+        assert [e.message for e in seen] == ["root", "child"]
+
+    def test_exact_topic(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="pipeline.stage")
+        bus.publish("pipeline.stage", "collecting")
+        bus.publish("pipeline", "ignored")
+        assert len(seen) == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.publish("a")
+        unsubscribe()
+        unsubscribe()  # idempotent
+        bus.publish("b")
+        assert len(seen) == 1
+
+    def test_published_count(self):
+        bus = EventBus()
+        bus.publish("a")
+        bus.publish("b")
+        assert bus.published_count == 2
+
+    def test_str_rendering(self):
+        bus = EventBus()
+        assert str(bus.publish("t", "msg")) == "[t] msg"
+        assert str(bus.publish("t")) == "[t]"
+
+
+class TestCallbackAdapter:
+    def test_legacy_callback_sees_messages(self):
+        messages = []
+        bus = EventBus()
+        bus.subscribe(callback_subscriber(messages.append))
+        bus.publish("pipeline.stage", "training surrogate model")
+        bus.publish("bare.topic")  # no message -> topic as fallback
+        assert messages == ["training surrogate model", "bare.topic"]

@@ -1,5 +1,4 @@
 import numpy as np
-import pytest
 
 from repro.workload.generator import Operation, OperationGenerator
 from repro.workload.spec import DELETE, READ, WRITE, WorkloadSpec

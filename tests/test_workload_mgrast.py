@@ -1,12 +1,7 @@
 import numpy as np
 import pytest
 
-from repro.workload.mgrast import (
-    DEFAULT_PHASES,
-    FOUR_DAYS_SECONDS,
-    MGRastPhase,
-    MGRastTraceGenerator,
-)
+from repro.workload.mgrast import FOUR_DAYS_SECONDS, MGRastPhase, MGRastTraceGenerator
 from repro.workload.trace import DEFAULT_WINDOW_SECONDS
 
 
