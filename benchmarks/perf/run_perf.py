@@ -1,0 +1,245 @@
+"""Search-stack microbenchmarks: the §4.8 speed claim as a perf gate.
+
+Measures the three hot paths the batched evaluation stack optimizes —
+ensemble queries (rows/sec by batch size), a full GA search
+(:class:`ConfigurationOptimizer`, batched vs the scalar reference), and
+the end-to-end ``Rafiki.recommend`` latency — and writes a
+``BENCH_search.json`` the next PR can diff against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run_perf.py                # full budget
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --budget tiny  # CI smoke
+    PYTHONPATH=src python benchmarks/perf/run_perf.py --budget tiny \
+        --out /tmp/fresh.json --check benchmarks/perf/BENCH_search.json
+
+``--check`` compares the *dimensionless* metrics (the batched/scalar
+speedup ratios) of a fresh run against a baseline file and exits
+non-zero only on a gross regression (default tolerance 5x), so the CI
+job stays flake-free across heterogeneous runners; wall-clock numbers
+are recorded for trend-watching but never gated on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.dataset import PerformanceDataset, PerformanceSample
+from repro.config import CASSANDRA_KEY_PARAMETERS, cassandra_space
+from repro.core.rafiki import Rafiki
+from repro.core.search import ConfigurationOptimizer
+from repro.core.surrogate import SurrogateModel
+from repro.datastore import CassandraLike
+from repro.ml.ensemble import EnsembleConfig
+from repro.workload.spec import WorkloadSpec
+
+PARAMS = list(CASSANDRA_KEY_PARAMETERS)
+
+#: Budget knobs: (n_configs, ensemble_config, population, generations, repeats).
+BUDGETS = {
+    # Paper-scale: 20-net ensemble pruned to 14, default GA budget
+    # (~3,400 evaluations) — the configuration the §4.8 claim is about.
+    "default": dict(
+        n_configs=25,
+        ensemble=EnsembleConfig(),
+        population=48,
+        generations=70,
+        repeats=3,
+        batch_sizes=(1, 48, 512, 3400),
+    ),
+    # CI smoke: small ensemble, short search; ratios stay meaningful,
+    # wall time stays in seconds.
+    "tiny": dict(
+        n_configs=12,
+        ensemble=EnsembleConfig(n_networks=6, max_epochs=40),
+        population=16,
+        generations=10,
+        repeats=2,
+        batch_sizes=(1, 16, 256),
+    ),
+}
+
+
+def build_surrogate(budget: dict) -> SurrogateModel:
+    """Train on a synthetic surface — benchmark the search, not the sim."""
+    space = cassandra_space()
+    rng = np.random.default_rng(2017)
+    samples = []
+    for _ in range(budget["n_configs"]):
+        config = space.sample_configuration(rng, PARAMS)
+        vec = config.to_vector(PARAMS)
+        for rr in np.linspace(0.0, 1.0, 5):
+            target = (
+                60_000
+                + 30_000 * vec[2]
+                - 20_000 * (vec[1] - 0.5) ** 2
+                + 5_000 * rr
+            )
+            samples.append(
+                PerformanceSample(
+                    workload=WorkloadSpec(read_ratio=float(rr)),
+                    configuration=config,
+                    throughput=float(target),
+                )
+            )
+    model = SurrogateModel(space, PARAMS, budget["ensemble"])
+    return model.fit(PerformanceDataset(samples, PARAMS), seed=7)
+
+
+def timed(fn, repeats: int) -> float:
+    """Best-of-N wall seconds (min is the stablest location estimate)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_ensemble_rows(surrogate: SurrogateModel, budget: dict) -> dict:
+    rng = np.random.default_rng(0)
+    out = {}
+    for n in budget["batch_sizes"]:
+        rows = rng.uniform(0.0, 1.0, size=(n, len(PARAMS) + 1))
+        reps = max(3, 2000 // n)
+        dt = timed(lambda: surrogate.predict_mean_std(rows), reps)
+        out[str(n)] = {
+            "rows_per_sec": n / dt,
+            "us_per_row": 1e6 * dt / n,
+        }
+    return out
+
+
+def bench_ga_search(surrogate: SurrogateModel, budget: dict) -> dict:
+    common = dict(
+        population_size=budget["population"],
+        generations=budget["generations"],
+        uncertainty_penalty=0.5,
+    )
+    fast = ConfigurationOptimizer(surrogate, batched=True, **common)
+    ref = ConfigurationOptimizer(surrogate, batched=False, **common)
+    t_fast = timed(lambda: fast.optimize(0.6, seed=11), budget["repeats"])
+    t_ref = timed(lambda: ref.optimize(0.6, seed=11), budget["repeats"])
+    result = fast.optimize(0.6, seed=11)
+    return {
+        "population": budget["population"],
+        "generations": budget["generations"],
+        "uncertainty_penalty": 0.5,
+        "evaluations": result.evaluations,
+        "batched_seconds": t_fast,
+        "scalar_seconds": t_ref,
+        "speedup_batched_vs_scalar": t_ref / t_fast,
+        "batched_us_per_evaluation": 1e6 * t_fast / result.evaluations,
+    }
+
+
+def bench_recommend(surrogate: SurrogateModel, budget: dict) -> dict:
+    rafiki = Rafiki(CassandraLike(), surrogate, PARAMS, seed=0)
+    rafiki.optimizer.population_size = budget["population"]
+    rafiki.optimizer.generations = budget["generations"]
+
+    def run():
+        rafiki.cache.clear()
+        rafiki.recommend(0.72)
+
+    cold = timed(run, budget["repeats"])
+    rafiki.recommend(0.72)
+    warm = timed(lambda: rafiki.recommend(0.72), 10)
+    return {
+        "cold_seconds": cold,
+        "cached_seconds": warm,
+    }
+
+
+def run_suite(budget_name: str) -> dict:
+    budget = BUDGETS[budget_name]
+    surrogate = build_surrogate(budget)
+    return {
+        "meta": {
+            "budget": budget_name,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "unix_time": time.time(),
+        },
+        "ensemble_query": bench_ensemble_rows(surrogate, budget),
+        "ga_search": bench_ga_search(surrogate, budget),
+        "recommend": bench_recommend(surrogate, budget),
+    }
+
+
+#: Dimensionless metrics gated by --check: (path into the payload, floor).
+#: A fresh value may be up to `tolerance` times worse than baseline; the
+#: absolute floor catches a batched path that stopped being faster at all.
+GATED_METRICS = [
+    (("ga_search", "speedup_batched_vs_scalar"), 1.0),
+]
+
+
+def check_against(fresh: dict, baseline_path: Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for path, floor in GATED_METRICS:
+        f, b = fresh, baseline
+        for key in path:
+            f = f[key]
+            b = b[key]
+        name = ".".join(path)
+        if f < floor:
+            failures.append(f"{name}: {f:.2f} below hard floor {floor:.2f}")
+        elif f * tolerance < b:
+            failures.append(
+                f"{name}: {f:.2f} is >{tolerance:.0f}x worse than baseline {b:.2f}"
+            )
+        else:
+            print(f"ok: {name} = {f:.2f} (baseline {b:.2f})")
+    for msg in failures:
+        print(f"PERF REGRESSION: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--budget", choices=sorted(BUDGETS), default="default")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path(__file__).parent / "BENCH_search.json",
+        help="where to write the JSON payload",
+    )
+    parser.add_argument(
+        "--check",
+        type=Path,
+        default=None,
+        help="baseline BENCH_search.json to gate dimensionless metrics against",
+    )
+    parser.add_argument("--tolerance", type=float, default=5.0)
+    args = parser.parse_args(argv)
+
+    payload = run_suite(args.budget)
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+
+    ga = payload["ga_search"]
+    print(
+        f"GA search ({ga['evaluations']} evals): "
+        f"batched {ga['batched_seconds']:.3f}s vs scalar {ga['scalar_seconds']:.3f}s "
+        f"-> {ga['speedup_batched_vs_scalar']:.1f}x, "
+        f"{ga['batched_us_per_evaluation']:.1f} us/eval"
+    )
+    print(f"wrote {args.out}")
+
+    if args.check is not None:
+        return check_against(payload, args.check, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

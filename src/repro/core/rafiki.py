@@ -64,11 +64,15 @@ class Rafiki:
         seed: int = 0,
         rr_cache_resolution: float = 0.05,
         cache_capacity: int = 128,
+        events: Optional[EventBus] = None,
     ):
         self.datastore = datastore
         self.surrogate = surrogate
         self.key_parameters = tuple(key_parameters)
-        self.optimizer = ConfigurationOptimizer(surrogate, self.key_parameters)
+        self.events = events
+        self.optimizer = ConfigurationOptimizer(
+            surrogate, self.key_parameters, bus=events
+        )
         self.seeds = SeedSequence(seed)
         # Validates rr_cache_resolution > 0 up front: a zero/negative
         # resolution used to surface as a ZeroDivisionError at the first
@@ -298,6 +302,7 @@ class RafikiPipeline:
             surrogate,
             key_parameters,
             seed=self.seed,
+            events=self.events,
         )
         report = PipelineReport(
             characterization=characterization,

@@ -111,6 +111,23 @@ class SurrogateModel:
         self.stats.n_queries += rows.shape[0]
         return np.asarray(out, dtype=float).ravel()
 
+    def predict_mean_std(self, rows: np.ndarray):
+        """Mean prediction and ensemble spread in one member walk.
+
+        The uncertainty-penalized GA fitness needs both; calling
+        ``predict_features`` + ``ensemble.predict_std`` separately would
+        run every member network twice on the same rows.  Returns
+        ``(mean, std)``, each ``(n,)``.
+        """
+        if not self.is_fitted:
+            raise TrainingError("surrogate queried before fit()")
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        t0 = time.perf_counter()
+        mean, std = self.ensemble.predict_mean_std(rows)
+        self.stats.query_wall_seconds += time.perf_counter() - t0
+        self.stats.n_queries += rows.shape[0]
+        return np.asarray(mean, dtype=float).ravel(), np.asarray(std, dtype=float).ravel()
+
     def predict_dataset(self, dataset: PerformanceDataset) -> np.ndarray:
         """Predictions for every sample of a dataset (validation path)."""
         if tuple(dataset.feature_parameters) != self.feature_parameters:

@@ -6,24 +6,37 @@ by surrogate evaluations — the paper reports ~3,350 evaluations per
 search at ~45 us each (§4.8) — so results carry an evaluation count the
 search-efficiency experiments can convert into simulated benchmark time
 saved.
+
+Fitness can be supplied two ways:
+
+* ``fitness_fn(genes) -> float`` — the scalar reference path, one call
+  per individual;
+* ``fitness_batch_fn(genes_matrix) -> (n,) array`` — the fast path, one
+  call per *generation* scoring the whole population at once.
+
+When both are given the batched path runs; the scalar path is retained
+as the reference implementation the equivalence tests compare against.
+The two paths consume the RNG identically and count evaluations
+identically, so a batch function whose rows match the scalar function
+bit-for-bit yields a bit-identical :class:`GAResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.config.space import Configuration
 from repro.errors import SearchError
-from repro.ga.constraints import penalized_fitness
 from repro.ga.encoding import ConfigurationEncoder
 from repro.ga.operators import (
-    gaussian_mutation,
-    tournament_select,
-    weighted_average_crossover,
+    gaussian_mutation_many,
+    tournament_select_many,
+    weighted_average_crossover_many,
 )
+from repro.runtime.events import EventBus
 from repro.sim.rng import SeedLike, derive_rng
 
 #: Defaults sized so a full run costs ~3,400 evaluations, matching §4.8.
@@ -54,15 +67,24 @@ class GeneticAlgorithm:
     fitness_fn:
         Maps a raw gene vector to a raw (unpenalized) fitness; in Rafiki
         this queries the surrogate with the workload fixed (Equation 4).
+    fitness_batch_fn:
+        Maps a ``(n, n_genes)`` matrix to ``(n,)`` raw fitnesses in one
+        call.  Preferred when present: the surrogate then runs each
+        member network once per generation instead of once per
+        individual.
     penalty_scale:
         Deb-penalty coefficient; if None it is set adaptively to the
         spread of the initial population's fitness.
+    bus:
+        Optional :class:`~repro.runtime.events.EventBus`; when given,
+        ``run`` publishes ``search.start`` / ``search.generation`` /
+        ``search.done`` progress events.
     """
 
     def __init__(
         self,
         encoder: ConfigurationEncoder,
-        fitness_fn: Callable[[np.ndarray], float],
+        fitness_fn: Optional[Callable[[np.ndarray], float]] = None,
         population_size: int = DEFAULT_POPULATION,
         generations: int = DEFAULT_GENERATIONS,
         elites: int = DEFAULT_ELITES,
@@ -70,6 +92,8 @@ class GeneticAlgorithm:
         mutation_scale: float = 0.08,
         stagnation_limit: int = DEFAULT_STAGNATION_LIMIT,
         penalty_scale: Optional[float] = None,
+        fitness_batch_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+        bus: Optional[EventBus] = None,
     ):
         if population_size < 4:
             raise SearchError("population must be at least 4")
@@ -77,8 +101,11 @@ class GeneticAlgorithm:
             raise SearchError("need at least one generation")
         if not (0 <= elites < population_size):
             raise SearchError("elites must fit inside the population")
+        if fitness_fn is None and fitness_batch_fn is None:
+            raise SearchError("need fitness_fn or fitness_batch_fn")
         self.encoder = encoder
         self.fitness_fn = fitness_fn
+        self.fitness_batch_fn = fitness_batch_fn
         self.population_size = population_size
         self.generations = generations
         self.elites = elites
@@ -86,15 +113,41 @@ class GeneticAlgorithm:
         self.mutation_scale = mutation_scale
         self.stagnation_limit = stagnation_limit
         self.penalty_scale = penalty_scale
+        self.bus = bus
         self.evaluations = 0
 
     # -- evaluation ------------------------------------------------------------
 
-    def _evaluate(self, genes: np.ndarray, penalty_scale: float) -> float:
-        self.evaluations += 1
-        raw = float(self.fitness_fn(genes))
-        violation = self.encoder.violation(genes)
-        return penalized_fitness(raw, violation, penalty_scale)
+    def _raw_fitness_many(self, population: Sequence[np.ndarray]) -> np.ndarray:
+        """Raw fitness of every individual; one batched call if possible."""
+        self.evaluations += len(population)
+        if self.fitness_batch_fn is not None:
+            out = np.asarray(
+                self.fitness_batch_fn(np.stack(population)), dtype=float
+            ).ravel()
+            if out.shape[0] != len(population):
+                raise SearchError(
+                    f"fitness_batch_fn returned {out.shape[0]} scores "
+                    f"for {len(population)} individuals"
+                )
+            return out
+        return np.array([float(self.fitness_fn(g)) for g in population])
+
+    def _penalized_many(
+        self, population: Sequence[np.ndarray], raw: np.ndarray, penalty_scale: float
+    ) -> np.ndarray:
+        """Deb-penalized fitness for the whole population.
+
+        Elementwise ``np.where`` matches :func:`penalized_fitness` bit
+        for bit: feasible rows pass through untouched, infeasible rows
+        subtract the same product.
+        """
+        violations = self.encoder.violation_batch(np.stack(population))
+        return np.where(violations > 0.0, raw - penalty_scale * violations, raw)
+
+    def _publish(self, topic: str, message: str, **payload) -> None:
+        if self.bus is not None:
+            self.bus.publish(topic, message, **payload)
 
     # -- main loop ---------------------------------------------------------------
 
@@ -106,61 +159,86 @@ class GeneticAlgorithm:
         """Run the GA; returns the best *feasible* configuration found."""
         rng = derive_rng(seed)
         self.evaluations = 0
+        self._publish(
+            "search.start",
+            f"GA search over {self.encoder.n_genes} genes",
+            population=self.population_size,
+            generations=self.generations,
+            batched=self.fitness_batch_fn is not None,
+        )
 
         population = [self.encoder.random_genes(rng) for _ in range(self.population_size)]
         if initial:
             for i, genes in enumerate(initial[: self.population_size]):
                 population[i] = np.asarray(genes, dtype=float)
 
-        raw_first = [float(self.fitness_fn(g)) for g in population]
-        self.evaluations += len(population)
+        raw_first = self._raw_fitness_many(population)
         if self.penalty_scale is not None:
             penalty_scale = self.penalty_scale
         else:
             spread = max(np.ptp(raw_first), abs(np.mean(raw_first)) * 0.1, 1e-9)
             penalty_scale = 2.0 * spread
-        fitness = [
-            penalized_fitness(r, self.encoder.violation(g), penalty_scale)
-            for r, g in zip(raw_first, population)
-        ]
+        fitness = self._penalized_many(population, raw_first, penalty_scale)
 
-        best_genes, best_fit = self._best_feasible(population, fitness, rng, penalty_scale)
+        best_genes, best_fit = self._best_feasible(population, fitness)
         history = [best_fit]
         stagnant = 0
         generation = 0
 
         for generation in range(1, self.generations + 1):
+            # Variation runs population-at-a-time: every child's parents,
+            # crossover weights, and mutation draws come from one block
+            # RNG call each, so per-generation python overhead is O(1)
+            # in the population size.  Both fitness modes share this
+            # block, which keeps their RNG streams — and hence their
+            # trajectories — identical.
             order = np.argsort(fitness)[::-1]
-            next_pop: List[np.ndarray] = [population[int(i)].copy() for i in order[: self.elites]]
-            while len(next_pop) < self.population_size:
-                ia = tournament_select(fitness, rng)
-                ib = tournament_select(fitness, rng)
-                child = weighted_average_crossover(population[ia], population[ib], rng)
-                child = gaussian_mutation(
-                    child,
-                    self.encoder.lower,
-                    self.encoder.upper,
-                    rng,
-                    rate=self.mutation_rate,
-                    scale=self.mutation_scale,
-                )
-                next_pop.append(child)
-            population = next_pop
-            fitness = [self._evaluate(g, penalty_scale) for g in population]
-
-            gen_best_genes, gen_best_fit = self._best_feasible(
-                population, fitness, rng, penalty_scale
+            pop_matrix = np.stack(population)
+            n_children = self.population_size - self.elites
+            ia = tournament_select_many(fitness, rng, n_children)
+            ib = tournament_select_many(fitness, rng, n_children)
+            children = weighted_average_crossover_many(
+                pop_matrix[ia], pop_matrix[ib], rng
             )
+            children = gaussian_mutation_many(
+                children,
+                self.encoder.lower,
+                self.encoder.upper,
+                rng,
+                rate=self.mutation_rate,
+                scale=self.mutation_scale,
+            )
+            population = [
+                pop_matrix[int(i)].copy() for i in order[: self.elites]
+            ] + list(children)
+            raw = self._raw_fitness_many(population)
+            fitness = self._penalized_many(population, raw, penalty_scale)
+
+            gen_best_genes, gen_best_fit = self._best_feasible(population, fitness)
             if gen_best_fit > best_fit + 1e-12:
                 best_genes, best_fit = gen_best_genes, gen_best_fit
                 stagnant = 0
             else:
                 stagnant += 1
             history.append(best_fit)
+            self._publish(
+                "search.generation",
+                f"generation {generation}: best {best_fit:,.1f}",
+                generation=generation,
+                best_fitness=best_fit,
+                evaluations=self.evaluations,
+            )
             if stagnant >= self.stagnation_limit:
                 break
 
         config = self.encoder.decode(best_genes)
+        self._publish(
+            "search.done",
+            f"search finished after {generation} generations",
+            generations=generation,
+            best_fitness=best_fit,
+            evaluations=self.evaluations,
+        )
         return GAResult(
             best_configuration=config,
             best_fitness=best_fit,
@@ -169,7 +247,7 @@ class GeneticAlgorithm:
             history=history,
         )
 
-    def _best_feasible(self, population, fitness, rng, penalty_scale):
+    def _best_feasible(self, population, fitness):
         """Best individual after snapping to feasibility.
 
         The winner is re-scored on its *snapped* genes so the reported
@@ -179,6 +257,5 @@ class GeneticAlgorithm:
         genes = population[best_idx]
         config = self.encoder.decode(genes)
         snapped = self.encoder.encode(config)
-        raw = float(self.fitness_fn(snapped))
-        self.evaluations += 1
+        raw = float(self._raw_fitness_many([snapped])[0])
         return snapped, raw

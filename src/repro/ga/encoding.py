@@ -98,10 +98,24 @@ class ConfigurationEncoder:
         penalizes them but does not discard them — so features come from
         the raw genes, unit-scaled, not from the snapped decode.
         """
-        genes = np.clip(np.asarray(genes, dtype=float), self.lower, self.upper)
+        return self.features_batch(np.asarray(genes, dtype=float)[None, :], read_ratio)[0]
+
+    def features_batch(self, genes_matrix: np.ndarray, read_ratio: float) -> np.ndarray:
+        """Feature rows for a whole gene matrix: ``(n, g) -> (n, 1 + g)``.
+
+        The batched GA fitness path; row ``i`` is bit-identical to
+        ``features(genes_matrix[i], read_ratio)`` (elementwise ops only).
+        """
+        genes = np.atleast_2d(np.asarray(genes_matrix, dtype=float))
+        if genes.shape[1] != self.n_genes:
+            raise SearchError(f"expected {self.n_genes} genes per row, got {genes.shape[1]}")
+        genes = np.clip(genes, self.lower, self.upper)
         span = np.where(self.upper > self.lower, self.upper - self.lower, 1.0)
         unit = (genes - self.lower) / span
-        return np.concatenate([[read_ratio], unit])
+        rows = np.empty((genes.shape[0], 1 + self.n_genes))
+        rows[:, 0] = read_ratio
+        rows[:, 1:] = unit
+        return rows
 
     def violation(self, genes: np.ndarray) -> float:
         """Distance from feasibility: integrality + bound overshoot.
@@ -110,12 +124,23 @@ class ConfigurationEncoder:
         violations are measured as the distance to the nearest integer
         (max 0.5 per gene); bound violations as the normalized overshoot.
         """
-        genes = np.asarray(genes, dtype=float)
+        return float(self.violation_batch(np.asarray(genes, dtype=float)[None, :])[0])
+
+    def violation_batch(self, genes_matrix: np.ndarray) -> np.ndarray:
+        """Per-row feasibility violations: ``(n, g) -> (n,)``.
+
+        Row ``i`` is bit-identical to ``violation(genes_matrix[i])``:
+        the per-row reductions run over the same contiguous gene axis in
+        the same order regardless of how many rows share the matrix.
+        """
+        genes = np.atleast_2d(np.asarray(genes_matrix, dtype=float))
+        if genes.shape[1] != self.n_genes:
+            raise SearchError(f"expected {self.n_genes} genes per row, got {genes.shape[1]}")
         span = np.where(self.upper > self.lower, self.upper - self.lower, 1.0)
         below = np.maximum(self.lower - genes, 0.0) / span
         above = np.maximum(genes - self.upper, 0.0) / span
-        total = float(np.sum(below + above))
+        total = np.sum(below + above, axis=1)
         inside = np.clip(genes, self.lower, self.upper)
         frac = np.abs(inside - np.round(inside))
-        total += float(np.sum(frac[self.integral]))
+        total += np.sum(frac[:, self.integral], axis=1)
         return total

@@ -59,3 +59,58 @@ def tournament_select(
         if fitness[int(idx)] > fitness[best]:
             best = int(idx)
     return best
+
+
+# -- population-at-a-time variants ------------------------------------------
+#
+# The GA's per-generation work is embarrassingly parallel across
+# children, and the per-child python overhead (one rng call + one
+# scan per tournament, one rng call per crossover/mutation) rivals the
+# surrogate queries themselves once fitness goes batched.  These
+# variants draw every child's randomness in one generator call each.
+# They consume the RNG stream in a different (block-wise) order than a
+# loop over the scalar operators, but remain fully deterministic per
+# seed, and per-child semantics are unchanged.
+
+
+def tournament_select_many(
+    fitness: Sequence[float],
+    rng: np.random.Generator,
+    count: int,
+    k: int = 3,
+) -> np.ndarray:
+    """``count`` independent tournament winners: ``(count,)`` indices.
+
+    Ties go to the earliest-drawn contender, matching the scalar
+    operator's strict-improvement scan.
+    """
+    n = len(fitness)
+    if n == 0:
+        raise ValueError("empty population")
+    contenders = rng.integers(n, size=(count, min(k, n)))
+    fvals = np.asarray(fitness)[contenders]
+    return contenders[np.arange(count), np.argmax(fvals, axis=1)]
+
+
+def weighted_average_crossover_many(
+    parents_a: np.ndarray, parents_b: np.ndarray, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-gene random-weighted average for a whole block of pairs."""
+    r = rng.random(parents_a.shape)
+    return r * parents_a + (1.0 - r) * parents_b
+
+
+def gaussian_mutation_many(
+    children: np.ndarray,
+    lower: np.ndarray,
+    upper: np.ndarray,
+    rng: np.random.Generator,
+    rate: float = 0.2,
+    scale: float = 0.1,
+) -> np.ndarray:
+    """Per-gene gaussian jitter over a ``(count, n_genes)`` block."""
+    mask = rng.random(children.shape) < rate
+    noise = rng.standard_normal(children.shape)
+    span = np.where(upper > lower, upper - lower, 1.0)
+    mutated = np.where(mask, children + noise * scale * span, children)
+    return np.clip(mutated, lower, upper)

@@ -137,6 +137,26 @@ class NetworkEnsemble:
         self.training_results = [res for _, res in trained[:keep]]
         return self
 
+    def _mean_std_scaled(self, xs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Member mean and spread in *standardized* target units.
+
+        One forward pass per member, accumulated sequentially with
+        elementwise ops: unlike ``np.mean``/``np.std`` axis reductions
+        (whose unrolled base cases change accumulation order with the
+        column count), the result for each row is bit-identical whether
+        it is evaluated alone or inside a batch.
+        """
+        forwards = [net.forward_rows(xs) for net in self.networks]
+        total = forwards[0].copy()
+        for f in forwards[1:]:
+            total += f
+        mean = total / len(forwards)
+        sq = np.zeros_like(mean)
+        for f in forwards:
+            sq += (f - mean) ** 2
+        std = np.sqrt(sq / len(forwards))
+        return mean, std
+
     def predict(self, x: np.ndarray) -> np.ndarray:
         """Ensemble-mean prediction in original target units (AOPS)."""
         if not self.is_fitted:
@@ -146,8 +166,8 @@ class NetworkEnsemble:
         if squeeze:
             x = x[None, :]
         xs = self.x_scaler.transform(x)
-        preds = np.mean([net.predict(xs) for net in self.networks], axis=0)
-        out = self.y_scaler.inverse_transform(preds)
+        mean, _ = self._mean_std_scaled(xs)
+        out = self.y_scaler.inverse_transform(mean)
         return float(out[0]) if squeeze else out
 
     def predict_std(self, x: np.ndarray) -> np.ndarray:
@@ -158,5 +178,25 @@ class NetworkEnsemble:
         if x.ndim == 1:
             x = x[None, :]
         xs = self.x_scaler.transform(x)
-        preds = np.stack([net.predict(xs) for net in self.networks])
-        return preds.std(axis=0) * self.y_scaler.scale_[0]
+        _, std = self._mean_std_scaled(xs)
+        return std * self.y_scaler.scale_[0]
+
+    def predict_mean_std(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean and spread from a single walk over the member networks.
+
+        ``predict`` followed by ``predict_std`` runs every member twice
+        on the same rows; uncertainty-penalized search needs both, so
+        this returns ``(mean, std)`` — both ``(n,)``, original target
+        units — from one set of forward passes.
+        """
+        if not self.is_fitted:
+            raise TrainingError("ensemble used before fit()")
+        x = np.asarray(x, dtype=float)
+        if x.ndim == 1:
+            x = x[None, :]
+        xs = self.x_scaler.transform(x)
+        mean, std = self._mean_std_scaled(xs)
+        return (
+            self.y_scaler.inverse_transform(mean),
+            std * self.y_scaler.scale_[0],
+        )

@@ -96,3 +96,47 @@ class TestMultiGet:
         before = engine.stats.reads
         engine.multi_get(["k000", "k002", "k004"])
         assert engine.stats.reads == before + 3
+
+    def test_empty_batch_costs_nothing(self, engine):
+        t0 = engine.clock.now
+        assert engine.multi_get([]) == {}
+        assert engine.clock.now == t0
+
+    def test_matches_point_gets(self, small_knobs):
+        def build():
+            e = LSMEngine(make_knobs())
+            for i in range(0, 60, 2):
+                e.put(f"k{i:03d}", f"v{i}".encode())
+            e.flush()
+            return e
+
+        keys = [f"k{i:03d}" for i in range(60)]
+        batched = build().multi_get(keys)
+        point = {k: build().get(k) for k in keys}
+        assert batched == point
+
+    def test_batch_cheaper_than_point_gets(self, small_knobs):
+        """The batched cost path charges one dispatch and overlaps CPU
+        with disk, so N keys in one batch take less simulated time than
+        N independent gets."""
+
+        def build():
+            e = LSMEngine(make_knobs())
+            for i in range(200):
+                e.put(f"k{i:03d}", b"x" * 40)
+            e.flush()
+            return e
+
+        keys = [f"k{i:03d}" for i in range(0, 200, 2)]
+        eb = build()
+        t0 = eb.clock.now
+        eb.multi_get(keys)
+        batched_dt = eb.clock.now - t0
+
+        ep = build()
+        t0 = ep.clock.now
+        for k in keys:
+            ep.get(k)
+        point_dt = ep.clock.now - t0
+
+        assert batched_dt < point_dt
