@@ -34,7 +34,14 @@ from repro.config import (
     scylla_space,
 )
 from repro.datastore import CassandraLike, Cluster, EngineCluster, HashRing, ScyllaLike
-from repro.errors import ReproError, SearchError, TrainingError
+from repro.errors import (
+    FaultError,
+    ReproError,
+    SearchError,
+    TrainingError,
+    TransientError,
+)
+from repro.faults import FaultInjector, FaultPlan
 from repro.bench import (
     BenchmarkResult,
     DataCollectionCampaign,
@@ -53,6 +60,7 @@ from repro.core import (
     OptimizationResult,
     OraclePolicy,
     Rafiki,
+    RetryPolicy,
     RafikiPipeline,
     RandomSearch,
     ReactivePolicy,
@@ -108,9 +116,13 @@ __all__ = [
     "RandomSearch",
     "OptimizationResult",
     "OnlineController",
+    "RetryPolicy",
     "rank_parameters",
     "select_key_parameters",
     "RecommendationCache",
+    # fault injection
+    "FaultPlan",
+    "FaultInjector",
     # decision policies
     "DecisionPolicy",
     "OraclePolicy",
@@ -121,6 +133,8 @@ __all__ = [
     "ReproError",
     "SearchError",
     "TrainingError",
+    "FaultError",
+    "TransientError",
     # runtime
     "ExecutionBackend",
     "SerialBackend",

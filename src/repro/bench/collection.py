@@ -12,6 +12,14 @@ every (workload, configuration) pair on a fresh server, optionally
 injects client faults into a deterministic subset of samples, and drops
 the faulted points — reproducing the 220 -> 200 pipeline.
 
+Faulted samples can also be *retried* instead of dropped
+(``retry_faulty > 0``): a transient client fault re-runs clean on a
+fresh derived stream, while persistent faults (scheduled through a
+:class:`~repro.faults.plan.FaultPlan`'s ``bench_faults``) re-fault on
+every retry and are dropped once the budget is spent.  With the default
+``retry_faulty=0`` the campaign is bit-identical to the historical
+drop-only behaviour.
+
 Every (workload, configuration) pair is an independent work unit with a
 pre-derived random stream, so the grid is submitted through an
 :class:`~repro.runtime.backend.ExecutionBackend` and parallelizes across
@@ -20,7 +28,7 @@ cores with bitwise-identical results to a serial run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -30,7 +38,9 @@ from repro.bench.metrics import BenchmarkResult
 from repro.bench.ycsb import YCSBBenchmark
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
+from repro.faults.plan import FaultPlan
 from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.deprecation import warn_deprecated
 from repro.runtime.events import EventBus
 from repro.sim.rng import SeedSequence
 from repro.workload.spec import WorkloadSpec
@@ -82,11 +92,21 @@ class DataCollectionCampaign:
         progress: Optional[Callable[[int, int], None]] = None,
         backend: Optional[ExecutionBackend] = None,
         events: Optional[EventBus] = None,
+        retry_faulty: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         if n_workloads < 2:
             raise ValueError("need at least two workloads")
         if n_configurations < 1:
             raise ValueError("need at least one configuration")
+        if retry_faulty < 0:
+            raise ValueError("retry_faulty must be >= 0")
+        if progress is not None:
+            warn_deprecated(
+                "collection.progress",
+                "DataCollectionCampaign(progress=...) is deprecated; subscribe "
+                "to 'collect.sample' events on the EventBus instead",
+            )
         self.datastore = datastore
         self.base_workload = base_workload
         self.key_parameters = tuple(key_parameters or datastore.key_parameters)
@@ -98,6 +118,10 @@ class DataCollectionCampaign:
         self.progress = progress
         self.backend = backend
         self.events = events or EventBus()
+        self.retry_faulty = retry_faulty
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate()
 
     # -- plan ------------------------------------------------------------------
 
@@ -139,6 +163,12 @@ class DataCollectionCampaign:
             for index in range(total)
             if index in faulty_indices
         }
+        # Externally scheduled client faults ride on top of the campaign's
+        # own §4.2 noise model (out-of-grid indices are ignored).
+        if self.fault_plan is not None:
+            for bf in self.fault_plan.bench_faults:
+                if bf.index < total:
+                    degradations[bf.index] = bf.degradation
 
         tasks: List[BenchmarkTask] = []
         index = 0
@@ -166,7 +196,13 @@ class DataCollectionCampaign:
         return PerformanceDataset(kept, self.key_parameters)
 
     def run_raw(self) -> List[BenchmarkResult]:
-        """All 220 results, with ``faulty`` marking injected client faults."""
+        """All 220 results, with ``faulty`` marking injected client faults.
+
+        With ``retry_faulty > 0`` each faulted sample is re-run (fresh
+        derived stream per attempt) up to that many times; transient
+        client faults come back clean, persistent ones re-fault and stay
+        marked for the drop in :meth:`run`.
+        """
         tasks = self.plan_tasks()
         total = len(tasks)
         backend = resolve_backend(self.backend)
@@ -177,6 +213,13 @@ class DataCollectionCampaign:
             done += 1
             if self.progress is not None:
                 self.progress(done, total)
+            if result.faulty:
+                self.events.publish(
+                    "fault.injected",
+                    f"client fault on sample {index}",
+                    kind="bench-client",
+                    index=index,
+                )
             self.events.publish(
                 "collect.sample",
                 f"sample {done}/{total}",
@@ -186,4 +229,46 @@ class DataCollectionCampaign:
                 faulty=result.faulty,
             )
 
-        return backend.map_tasks(execute_benchmark_task, tasks, on_result=on_result)
+        results = backend.map_tasks(
+            execute_benchmark_task, tasks, on_result=on_result
+        )
+        if self.retry_faulty > 0:
+            self._retry_faulted(tasks, results, backend)
+        return results
+
+    def _retry_faulted(
+        self,
+        tasks: List[BenchmarkTask],
+        results: List[BenchmarkResult],
+        backend: ExecutionBackend,
+    ) -> None:
+        """Re-run faulted grid points in place, bounded by the budget."""
+        persistent = (
+            {bf.index for bf in self.fault_plan.bench_faults if not bf.transient}
+            if self.fault_plan is not None
+            else set()
+        )
+        for attempt in range(1, self.retry_faulty + 1):
+            faulted = [t for t in tasks if results[t.index].faulty]
+            if not faulted:
+                return
+            retry_tasks = []
+            for task in faulted:
+                self.events.publish(
+                    "collect.retry",
+                    f"retrying faulted sample {task.index} (attempt {attempt})",
+                    index=task.index,
+                    attempt=attempt,
+                )
+                retry_tasks.append(
+                    replace(
+                        task,
+                        rng=self.seeds.stream(f"bench-{task.index}-retry{attempt}"),
+                        degradation=(
+                            task.degradation if task.index in persistent else None
+                        ),
+                    )
+                )
+            retried = backend.map_tasks(execute_benchmark_task, retry_tasks)
+            for task, result in zip(retry_tasks, retried):
+                results[task.index] = result

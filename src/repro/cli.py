@@ -27,11 +27,13 @@ from repro.bench.dataset import PerformanceDataset
 from repro.config import CASSANDRA_KEY_PARAMETERS, SCYLLA_KEY_PARAMETERS
 from repro.core.controller import OnlineController
 from repro.core.persistence import load_surrogate, save_surrogate
+from repro.core.policies import HysteresisPolicy, make_policy
 from repro.core.rafiki import Rafiki
 from repro.core.surrogate import SurrogateModel
 from repro.datastore import CassandraLike, ScyllaLike
+from repro.faults import FaultPlan
 from repro.ml.ensemble import EnsembleConfig
-from repro.runtime import resolve_backend
+from repro.runtime import EventBus, resolve_backend
 from repro.workload.characterize import characterize_trace
 from repro.workload.forecast import MarkovRegimeForecaster
 from repro.workload.mgrast import MGRastTraceGenerator
@@ -52,6 +54,16 @@ def _make_datastore(name: str):
 def cmd_collect(args) -> int:
     datastore, key_params = _make_datastore(args.datastore)
     backend = resolve_backend(workers=args.workers)
+    events = EventBus()
+    if not args.quiet:
+        events.subscribe(
+            lambda e: print(
+                f"\r   sample {e.payload['done']}/{e.payload['total']}",
+                end="",
+                flush=True,
+            ),
+            topic="collect.sample",
+        )
     with backend:
         campaign = DataCollectionCampaign(
             datastore,
@@ -62,11 +74,7 @@ def cmd_collect(args) -> int:
             n_faulty=args.faulty,
             seed=args.seed,
             backend=backend,
-            progress=(
-                (lambda i, total: print(f"\r   sample {i}/{total}", end="", flush=True))
-                if not args.quiet
-                else None
-            ),
+            events=events,
         )
         dataset = campaign.run()
     if not args.quiet:
@@ -119,14 +127,40 @@ def cmd_replay(args) -> int:
     series = MGRastTraceGenerator(seed=args.seed).read_ratio_series(args.hours * 3600)
     base_workload = mgrast_workload(0.5)
 
-    static = OnlineController(datastore, None, base_workload, seed=args.seed).run(series)
+    fault_plan = None
+    if args.fault_seed is not None:
+        fault_plan = FaultPlan.generate(
+            seed=args.fault_seed,
+            n_windows=len(series),
+            n_nodes=args.nodes,
+            # Node-level faults need a Cluster; a single server only
+            # sees control-plane (search/push) faults.
+            slowdown_probability=0.05 if args.nodes > 1 else 0.0,
+        )
+    events = EventBus()
+    if not args.quiet:
+        events.subscribe(lambda e: print(f"   {e}"), topic="fault")
+        events.subscribe(lambda e: print(f"   {e}"), topic="controller")
+
+    def policy(mode):
+        forecaster = MarkovRegimeForecaster() if mode == "forecast" else None
+        return HysteresisPolicy(make_policy(mode, forecaster), min_change=0.08)
+
+    common = dict(
+        seed=args.seed,
+        n_nodes=args.nodes,
+        replication_factor=args.replication_factor,
+    )
+    static = OnlineController(datastore, None, base_workload, **common).run(series)
     controller = OnlineController(
         datastore,
         rafiki,
         base_workload,
-        decision_mode=args.mode,
-        forecaster=MarkovRegimeForecaster() if args.mode == "forecast" else None,
-        seed=args.seed,
+        policy=policy(args.mode),
+        events=events,
+        fault_plan=fault_plan,
+        canary_margin=args.canary_margin,
+        **common,
     )
     tuned = controller.run(series)
     gain = tuned.mean_throughput / static.mean_throughput - 1.0
@@ -134,6 +168,9 @@ def cmd_replay(args) -> int:
     print(f"static default:   {static.mean_throughput:>12,.0f} ops/s")
     print(f"rafiki ({args.mode:>8}): {tuned.mean_throughput:>12,.0f} ops/s ({gain:+.1%})")
     print(f"reconfigurations: {tuned.reconfiguration_count}")
+    if fault_plan is not None or args.canary_margin is not None:
+        print(f"rollbacks:        {tuned.rollback_count}")
+        print(f"degraded windows: {tuned.degraded_count}")
     return 0
 
 
@@ -213,6 +250,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--mode", default="oracle", choices=("oracle", "reactive", "forecast")
     )
+    p.add_argument(
+        "--nodes", type=positive_int, default=1, help="simulated cluster size"
+    )
+    p.add_argument(
+        "--replication-factor", type=positive_int, default=1, dest="replication_factor"
+    )
+    p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="generate and inject a seeded FaultPlan (off by default)",
+    )
+    p.add_argument(
+        "--canary-margin",
+        type=float,
+        default=None,
+        help="enable canary-and-rollback with this undershoot margin, e.g. 0.2",
+    )
+    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("characterize", help="synthesize + characterize a trace")

@@ -40,7 +40,7 @@ from repro.core.policies import (
     make_policy,
 )
 from repro.core.rafiki import Rafiki, RafikiPipeline, PipelineReport
-from repro.core.controller import OnlineController, ControllerEvent
+from repro.core.controller import ControllerEvent, OnlineController, RetryPolicy
 from repro.core.persistence import load_surrogate, save_surrogate
 
 __all__ = [
@@ -70,6 +70,7 @@ __all__ = [
     "PipelineReport",
     "OnlineController",
     "ControllerEvent",
+    "RetryPolicy",
     "save_surrogate",
     "load_surrogate",
 ]

@@ -29,6 +29,7 @@ from repro.config.space import Configuration
 from repro.datastore.base import Datastore
 from repro.errors import SearchError
 from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.runtime.deprecation import warn_deprecated
 from repro.runtime.events import EventBus
 from repro.sim.rng import SeedSequence
 from repro.workload.spec import WorkloadSpec
@@ -149,6 +150,12 @@ def rank_parameters(
     """
     if repeats < 1:
         raise SearchError("repeats must be >= 1")
+    if progress is not None:
+        warn_deprecated(
+            "anova.progress",
+            "rank_parameters(progress=...) is deprecated; subscribe to "
+            "'anova.parameter' events on the EventBus instead",
+        )
     bench = benchmark or YCSBBenchmark(datastore)
     names = list(parameters) if parameters is not None else [
         p.name for p in datastore.space.performance_parameters()

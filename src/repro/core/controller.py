@@ -11,12 +11,40 @@ disruption (cache demotion is already modelled inside ``reconfigure``).
 executes decisions (search, push, account for downtime).  The paper's
 three modes remain available through the deprecated ``decision_mode``
 string shim, which builds the equivalent policy stack.
+
+Robustness (beyond the paper, which assumes every search and push
+succeeds first try):
+
+* **Retry with backoff** — transient search/push failures
+  (:class:`~repro.errors.TransientError`, e.g. from an injected
+  :class:`~repro.faults.FaultPlan`) are retried under a
+  :class:`RetryPolicy`; the simulated backoff time is charged against
+  the window, so flakiness costs throughput instead of crashing runs.
+* **Degraded mode** — when the search or push budget is exhausted the
+  controller falls back to the vendor default configuration (the
+  paper's baseline) and keeps serving, publishing
+  ``controller.degraded``.
+* **Canary + rollback** — with ``canary_margin`` set, every freshly
+  pushed configuration is canaried for one window: if the observed
+  throughput undershoots the surrogate's prediction (normalized by a
+  running observed/predicted ratio, widened by the ensemble's
+  uncertainty from ``predict_mean_std``), the previous configuration is
+  restored and ``controller.rollback`` published.
+* **Multi-node operation** — ``n_nodes > 1`` drives a
+  :class:`~repro.datastore.cluster.Cluster` instead of a single server,
+  the target a :class:`~repro.faults.FaultInjector` needs for node
+  crash / disk-slowdown faults.
+
+All of it is event-audited (``controller.*`` / ``fault.*`` topics) and
+deterministic: the same fault plan and seed reproduce the identical
+event sequence.  With no fault plan, no canary, and one node, the run
+is bit-identical to the fault-unaware controller.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,12 +57,43 @@ from repro.core.policies import (
 )
 from repro.core.rafiki import Rafiki
 from repro.datastore.base import Datastore
-from repro.errors import SearchError
-from repro.lsm.analytic import AnalyticLSMModel
+from repro.datastore.cluster import Cluster
+from repro.errors import SearchError, TransientError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.runtime.deprecation import warn_deprecated
+from repro.runtime.events import EventBus
 from repro.sim.rng import SeedLike
 from repro.workload.forecast import RRForecaster
 from repro.workload.spec import WorkloadSpec
 from repro.workload.trace import DEFAULT_WINDOW_SECONDS
+
+#: Smoothing of the observed/predicted throughput ratio the canary
+#: normalizes against (high = adapt fast to regime/fault shifts).
+CANARY_RATIO_ALPHA = 0.5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff for search/push calls.
+
+    Backoff is *simulated* time: every retry charges its backoff
+    against the window it happens in.  ``deadline_s`` caps the total
+    backoff one operation may accumulate regardless of attempts left.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 2.0
+    backoff_factor: float = 2.0
+    deadline_s: float = 60.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise SearchError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.deadline_s < 0:
+            raise SearchError("backoff and deadline must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise SearchError("backoff_factor must be >= 1")
 
 
 @dataclass
@@ -46,6 +105,8 @@ class ControllerEvent:
     reconfigured: bool
     configuration: Configuration
     mean_throughput: float
+    rolled_back: bool = False
+    degraded: bool = False
 
 
 @dataclass
@@ -63,6 +124,14 @@ class ControllerRun:
     @property
     def reconfiguration_count(self) -> int:
         return sum(1 for e in self.events if e.reconfigured)
+
+    @property
+    def rollback_count(self) -> int:
+        return sum(1 for e in self.events if e.rolled_back)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for e in self.events if e.degraded)
 
 
 class OnlineController:
@@ -83,10 +152,17 @@ class OnlineController:
         window_seconds: float = DEFAULT_WINDOW_SECONDS,
         rr_change_threshold: float = 0.08,
         reconfiguration_penalty_s: float = 5.0,
-        decision_mode: str = "oracle",
+        decision_mode: Optional[str] = None,
         forecaster: Optional["RRForecaster"] = None,
         policy: Optional[DecisionPolicy] = None,
         seed: SeedLike = 0,
+        events: Optional[EventBus] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        n_nodes: int = 1,
+        replication_factor: int = 1,
+        retry: Optional[RetryPolicy] = None,
+        canary_margin: Optional[float] = None,
+        canary_std_factor: float = 2.0,
     ):
         """``rafiki=None`` runs the static-default baseline.
 
@@ -96,7 +172,14 @@ class OnlineController:
         want change-damping.  Without an explicit policy, the deprecated
         ``decision_mode`` string is translated into the equivalent
         policy wrapped with ``HysteresisPolicy(min_change=rr_change_threshold)``,
-        reproducing the historical controller behaviour.
+        reproducing the historical controller behaviour (the default is
+        the paper's "oracle" mode).
+
+        ``canary_margin`` enables the rollback guard: a canaried window
+        whose observed/predicted throughput ratio drops more than
+        ``margin + std_factor x (ensemble std / mean)`` below the
+        running baseline ratio reverts the push.  Requires a ``rafiki``
+        exposing ``predicted_mean_std``.
         """
         self.datastore = datastore
         self.rafiki = rafiki
@@ -109,50 +192,186 @@ class OnlineController:
         if policy is not None:
             self.policy = policy
         else:
-            if decision_mode not in self.DECISION_MODES:
-                raise SearchError(f"unknown decision mode {decision_mode!r}")
+            if decision_mode is not None:
+                warn_deprecated(
+                    "controller.decision_mode",
+                    "OnlineController(decision_mode=...) is deprecated; pass a "
+                    "DecisionPolicy via policy= instead",
+                )
+            mode = decision_mode if decision_mode is not None else "oracle"
+            if mode not in self.DECISION_MODES:
+                raise SearchError(f"unknown decision mode {mode!r}")
             self.policy = HysteresisPolicy(
-                make_policy(decision_mode, forecaster),
+                make_policy(mode, forecaster),
                 min_change=rr_change_threshold,
             )
-            if forecaster is not None and decision_mode != "forecast":
+            if forecaster is not None and mode != "forecast":
                 # Historical quirk kept for compatibility: a forecaster
                 # passed alongside a non-forecast mode still observes
                 # the series (useful for offline forecaster evaluation).
                 self._passive_forecaster = forecaster
         self.decision_mode = getattr(self.policy, "name", "custom")
         self.seed = seed
+        self.events = events or EventBus()
+        if n_nodes < 1:
+            raise SearchError("n_nodes must be >= 1")
+        self.n_nodes = n_nodes
+        self.replication_factor = replication_factor
+        self.fault_plan = fault_plan
+        if fault_plan is not None:
+            fault_plan.validate()
+            if fault_plan.max_node >= n_nodes:
+                raise SearchError(
+                    f"fault plan targets node {fault_plan.max_node} but the "
+                    f"controller runs {n_nodes} node(s)"
+                )
+            if n_nodes == 1 and (
+                fault_plan.node_crashes or fault_plan.disk_slowdowns
+            ):
+                raise SearchError(
+                    "node crash/slowdown faults need a multi-node cluster "
+                    "(n_nodes >= 2); a single server only takes "
+                    "control-plane faults"
+                )
+        self.retry = retry or RetryPolicy()
+        if canary_margin is not None:
+            if not (0.0 <= canary_margin < 1.0):
+                raise SearchError("canary_margin must be in [0, 1)")
+            if rafiki is not None and not hasattr(rafiki, "predicted_mean_std"):
+                raise SearchError(
+                    "canary guard needs a rafiki exposing predicted_mean_std"
+                )
+        self.canary_margin = canary_margin
+        self.canary_std_factor = canary_std_factor
+
+    # -- resilient operations --------------------------------------------------
+
+    def _publish(self, topic: str, message: str, **payload) -> None:
+        self.events.publish(topic, message, **payload)
+
+    def _attempt(
+        self, kind: str, window: int, fn: Callable[[], object]
+    ) -> Tuple[bool, object, float]:
+        """Run ``fn`` under the retry policy.
+
+        Returns ``(ok, result, lost_seconds)`` where ``lost_seconds`` is
+        the simulated backoff spent on retries.  Only
+        :class:`TransientError` is retried; anything else escapes.
+        """
+        lost = 0.0
+        backoff = self.retry.backoff_s
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return True, fn(), lost
+            except TransientError:
+                out_of_budget = (
+                    attempt >= self.retry.max_attempts
+                    or lost + backoff > self.retry.deadline_s
+                )
+                if out_of_budget:
+                    return False, None, lost
+                self._publish(
+                    "controller.retry",
+                    f"{kind} failed (window {window}, attempt {attempt}); "
+                    f"retrying after {backoff:.1f}s",
+                    kind=kind,
+                    window=window,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                )
+                lost += backoff
+                backoff *= self.retry.backoff_factor
+        return False, None, lost  # pragma: no cover - loop always returns
+
+    def _make_server(self):
+        """Fresh server (single analytic model or a multi-node cluster)."""
+        profile = self.base_workload.to_profile()
+        if self.n_nodes == 1:
+            model = self.datastore.new_analytic_instance(
+                self.datastore.default_configuration(),
+                profile=profile,
+                seed=self.seed,
+            )
+            return model, None
+        cluster = Cluster(
+            self.datastore,
+            self.datastore.default_configuration(),
+            n_nodes=self.n_nodes,
+            replication_factor=self.replication_factor,
+            n_shooters=self.n_nodes,
+            profile=profile,
+            seed=self.seed,
+        )
+        return cluster, cluster
+
+    # -- the control loop ------------------------------------------------------
 
     def run(self, rr_series: Sequence[float], load: bool = True) -> ControllerRun:
         """Replay an RR window series against one long-lived server."""
         if len(rr_series) == 0:
             raise SearchError("empty RR series")
-        config = self.datastore.default_configuration()
-        model: AnalyticLSMModel = self.datastore.new_analytic_instance(
-            config, profile=self.base_workload.to_profile(), seed=self.seed
-        )
+        default_config = self.datastore.default_configuration()
+        config = default_config
+        server, cluster = self._make_server()
         if load:
-            model.load(self.base_workload.n_keys)
-            model.settle()
+            server.load(self.base_workload.n_keys)
+            server.settle()
+
+        injector = (
+            FaultInjector(self.fault_plan, events=self.events)
+            if self.fault_plan is not None and not self.fault_plan.is_empty
+            else None
+        )
+        canary_on = self.canary_margin is not None and self.rafiki is not None
 
         self.policy.reset()
         run = ControllerRun()
         previous_rr: Optional[float] = None
+        ratio_baseline: Optional[float] = None    # EWMA of observed/predicted
+        pending_canary: Optional[Configuration] = None  # config to roll back to
+        redecide = False      # last window degraded: don't trust "hold"
         for w, rr in enumerate(rr_series):
             rr = float(np.clip(rr, 0.0, 1.0))
             reconfigured = False
+            degraded = False
+            rolled_back = False
+            retry_lost = 0.0
+            if injector is not None:
+                injector.begin_window(w, cluster=cluster)
             if self.rafiki is not None:
                 decision_rr = self.policy.decide(
                     WindowObservation(
                         index=w, read_ratio=rr, previous_read_ratio=previous_rr
                     )
                 )
+                if decision_rr is None and redecide:
+                    # The previous window ended on a fallback config the
+                    # policy believes was the intended one; hysteresis
+                    # would hold forever.  Re-decide from the observed RR
+                    # until a window completes healthy again.
+                    decision_rr = rr
                 if decision_rr is not None:
-                    new_config = self.rafiki.recommend(decision_rr).configuration
-                    if new_config != config:
-                        model.reconfigure(self.datastore.effective_knobs(new_config))
-                        config = new_config
-                        reconfigured = True
+                    target, lost, degraded = self._decide_target(
+                        w, decision_rr, injector, default_config
+                    )
+                    retry_lost += lost
+                    if target is not None and target != config:
+                        pushed, lost = self._push(w, server, target, injector)
+                        retry_lost += lost
+                        if pushed:
+                            if canary_on and not degraded:
+                                pending_canary = config
+                            config = target
+                            reconfigured = True
+                        else:
+                            degraded = True
+                            self._publish(
+                                "controller.degraded",
+                                f"config push failed (window {w}); "
+                                "keeping the current configuration",
+                                reason="push",
+                                window=w,
+                            )
             self.policy.observe(rr)
             if self._passive_forecaster is not None:
                 self._passive_forecaster.update(rr)
@@ -161,14 +380,26 @@ class OnlineController:
             duration = self.window_seconds
             # Proactive (forecast-driven) reconfiguration happens at the
             # window boundary, overlapping idle time; reactive/oracle
-            # reconfiguration eats into the window.
+            # reconfiguration eats into the window.  Retry backoff is
+            # always in-window lost time.
             lost = (
                 0.0
                 if (self.policy.proactive or not reconfigured)
                 else self.reconfiguration_penalty_s
             )
-            steps = model.run(rr, duration - lost, dt=1.0)
+            lost = min(lost + retry_lost, duration)
+            steps = server.run(rr, duration - lost, dt=1.0)
             window_ops = sum(s.throughput * s.dt for s in steps)
+            mean_throughput = window_ops / duration
+
+            if canary_on:
+                rolled_back, config, ratio_baseline, pending_canary = (
+                    self._canary_check(
+                        w, rr, config, mean_throughput,
+                        ratio_baseline, pending_canary, server, injector,
+                    )
+                )
+            redecide = degraded
             run.events.append(
                 ControllerEvent(
                     window_index=w,
@@ -176,7 +407,132 @@ class OnlineController:
                     reconfigured=reconfigured,
                     configuration=config,
                     # Downtime counts against the window's mean.
-                    mean_throughput=window_ops / duration,
+                    mean_throughput=mean_throughput,
+                    rolled_back=rolled_back,
+                    degraded=degraded,
                 )
             )
         return run
+
+    # -- pieces of the loop ----------------------------------------------------
+
+    def _decide_target(
+        self,
+        window: int,
+        decision_rr: float,
+        injector: Optional[FaultInjector],
+        default_config: Configuration,
+    ) -> Tuple[Optional[Configuration], float, bool]:
+        """Search for the window's target config, surviving search faults.
+
+        Returns ``(target, lost_seconds, degraded)``; a ``None`` target
+        means "hold the current configuration".  A permanently failing
+        search degrades to the vendor default — the paper's baseline is
+        always a safe landing spot.
+        """
+
+        def do_search():
+            if injector is not None:
+                injector.check("search", window)
+            return self.rafiki.recommend(decision_rr)
+
+        ok, result, lost = self._attempt("search", window, do_search)
+        if ok:
+            return result.configuration, lost, False
+        self._publish(
+            "controller.degraded",
+            f"search unavailable (window {window}); "
+            "falling back to the default configuration",
+            reason="search",
+            window=window,
+        )
+        return default_config, lost, True
+
+    def _push(
+        self, window: int, server, target: Configuration,
+        injector: Optional[FaultInjector],
+    ) -> Tuple[bool, float]:
+        """Push a configuration to the server under the retry policy."""
+
+        def do_push():
+            if injector is not None:
+                injector.check("push", window)
+            server.reconfigure(self.datastore.effective_knobs(target))
+            return True
+
+        ok, _, lost = self._attempt("push", window, do_push)
+        return ok, lost
+
+    def _canary_check(
+        self,
+        window: int,
+        rr: float,
+        config: Configuration,
+        observed: float,
+        ratio_baseline: Optional[float],
+        pending_canary: Optional[Configuration],
+        server,
+        injector: Optional[FaultInjector],
+    ):
+        """Judge a canaried push against the surrogate's promise.
+
+        The guard is unit-free: it tracks the EWMA of the
+        observed/predicted throughput ratio (which absorbs the
+        single-server-surrogate vs n-node-cluster scale factor) and
+        rolls back when a canary window's ratio undershoots that
+        baseline by more than ``canary_margin`` plus
+        ``canary_std_factor`` times the ensemble's relative spread.
+        """
+        mean_pred, std_pred = self.rafiki.predicted_mean_std(rr, config)
+        if mean_pred <= 0.0:
+            return False, config, ratio_baseline, None
+        ratio = observed / mean_pred
+        if pending_canary is None:
+            ratio_baseline = (
+                ratio
+                if ratio_baseline is None
+                else CANARY_RATIO_ALPHA * ratio
+                + (1.0 - CANARY_RATIO_ALPHA) * ratio_baseline
+            )
+            return False, config, ratio_baseline, None
+        if ratio_baseline is None:
+            # A push in the very first window has nothing to compare
+            # against; accept it as the baseline.
+            return False, config, ratio, None
+        tolerance = self.canary_margin + self.canary_std_factor * (
+            std_pred / mean_pred
+        )
+        allowed = ratio_baseline * max(0.0, 1.0 - tolerance)
+        if ratio >= allowed:
+            # Canary passed: fold the window into the baseline.
+            ratio_baseline = (
+                CANARY_RATIO_ALPHA * ratio
+                + (1.0 - CANARY_RATIO_ALPHA) * ratio_baseline
+            )
+            return False, config, ratio_baseline, None
+        # Canary failed: restore the previous configuration.  The revert
+        # happens at the window boundary (no penalty charged); the
+        # undershooting window is excluded from the baseline.
+        self._publish(
+            "controller.rollback",
+            f"canary undershot prediction (window {window}): "
+            f"observed/predicted {ratio:.2f} < allowed {allowed:.2f}",
+            window=window,
+            observed=observed,
+            predicted=mean_pred,
+            ratio=ratio,
+            allowed=allowed,
+            baseline=ratio_baseline,
+        )
+        pushed, _ = self._push(window, server, pending_canary, injector)
+        if pushed:
+            config = pending_canary
+        else:
+            self._publish(
+                "controller.degraded",
+                f"rollback push failed (window {window}); "
+                "keeping the canaried configuration",
+                reason="rollback-push",
+                window=window,
+            )
+        return True, config, ratio_baseline, None

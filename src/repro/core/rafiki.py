@@ -35,6 +35,7 @@ from repro.datastore.scylla import ScyllaLike
 from repro.errors import TrainingError
 from repro.ml.ensemble import EnsembleConfig
 from repro.runtime.backend import ExecutionBackend
+from repro.runtime.deprecation import warn_deprecated
 from repro.runtime.events import EventBus, callback_subscriber
 from repro.sim.rng import SeedSequence
 from repro.workload.characterize import WorkloadCharacterization, characterize_trace
@@ -107,6 +108,18 @@ class Rafiki:
     def predicted_throughput(self, read_ratio: float, config: Configuration) -> float:
         return self.surrogate.predict(read_ratio, config)
 
+    def predicted_mean_std(
+        self, read_ratio: float, config: Configuration
+    ) -> tuple:
+        """Predicted AOPS and ensemble spread for one configuration.
+
+        The online controller's canary guard uses the spread to widen
+        its rollback threshold where the surrogate is uncertain.
+        """
+        row = self.surrogate.encode(read_ratio, config)[None, :]
+        mean, std = self.surrogate.predict_mean_std(row)
+        return float(mean[0]), float(std[0])
+
     # -- persistence -----------------------------------------------------------
 
     def save(self, path) -> None:
@@ -170,6 +183,11 @@ class RafikiPipeline:
         self.backend = backend
         self.events = events or EventBus()
         if progress is not None:  # deprecated: subscribe the callback
+            warn_deprecated(
+                "pipeline.progress",
+                "RafikiPipeline(progress=...) is deprecated; subscribe to "
+                "'pipeline.*' events on the EventBus instead",
+            )
             self.events.subscribe(callback_subscriber(progress))
 
     def _stage(self, message: str, **payload) -> None:

@@ -6,17 +6,24 @@ each logical read is served by one replica (consistency level ONE, the
 throughput-oriented choice).  Client capacity is bounded by the number
 of YCSB "shooters" — the paper adds a shooter per server to keep the
 cluster loaded.
+
+Nodes can be marked down (:meth:`Cluster.fail_node`) or given a degraded
+disk (:meth:`Cluster.set_disk_slowdown`); throughput and capacity math
+then run over the surviving nodes, mirroring the data-path failures in
+:mod:`repro.datastore.ring`.  With every node live and no slowdowns the
+math is bit-identical to the fault-free model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Set
 
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
 from repro.errors import DatastoreError
 from repro.lsm.analytic import AnalyticLSMModel, WorkloadProfile
+from repro.lsm.knobs import EngineKnobs
 from repro.sim.rng import SeedLike, SeedSequence, derive_rng
 
 #: Operations/second one benchmark client ("shooter") can generate.
@@ -33,6 +40,7 @@ class ClusterStepResult:
     t: float
     throughput: float          # logical ops/s across the cluster
     per_node_throughput: List[float]
+    dt: float = 1.0
 
 
 class Cluster:
@@ -76,6 +84,51 @@ class Cluster:
             for i in range(n_nodes)
         ]
         self.t = 0.0
+        self._down: Set[int] = set()
+        self._slowdown: Dict[int, float] = {}
+
+    # -- fault state ----------------------------------------------------------
+
+    def _check_node_index(self, node: int) -> None:
+        if not (0 <= node < self.n_nodes):
+            raise DatastoreError(
+                f"node index {node} out of range [0, {self.n_nodes})"
+            )
+
+    def fail_node(self, node: int) -> None:
+        """Mark a node down; it stops serving and absorbing load."""
+        self._check_node_index(node)
+        if node not in self._down and len(self._down) + 1 == self.n_nodes:
+            raise DatastoreError("cannot fail the last live node")
+        self._down.add(node)
+
+    def recover_node(self, node: int) -> None:
+        """Bring a failed node back into the serving set."""
+        self._check_node_index(node)
+        self._down.discard(node)
+
+    def set_disk_slowdown(self, node: int, factor: float) -> None:
+        """Degrade a node's effective throughput by ``factor`` (>= 1).
+
+        ``factor=1.0`` clears the slowdown.  A slow disk on one replica
+        drags the whole ring because the slowest live node bounds the
+        balanced per-node rate.
+        """
+        self._check_node_index(node)
+        if factor < 1.0:
+            raise DatastoreError(f"slowdown factor must be >= 1, got {factor}")
+        if factor == 1.0:
+            self._slowdown.pop(node, None)
+        else:
+            self._slowdown[node] = float(factor)
+
+    @property
+    def live_node_indices(self) -> List[int]:
+        return [i for i in range(self.n_nodes) if i not in self._down]
+
+    @property
+    def down_node_indices(self) -> List[int]:
+        return sorted(self._down)
 
     # -- replication math -----------------------------------------------------------
 
@@ -94,23 +147,38 @@ class Cluster:
             return self.replication_factor // 2 + 1
         return self.replication_factor
 
+    def _effective_rf(self) -> int:
+        """Replicas a write can actually land on (down nodes skipped)."""
+        return min(self.replication_factor, len(self.live_node_indices))
+
+    def _effective_read_fanout(self) -> int:
+        return min(self.read_fanout, self._effective_rf())
+
     def _node_read_share(self, read_ratio: float) -> float:
         """Read share of the per-node op mix after fan-out."""
         r, w = read_ratio, 1.0 - read_ratio
-        reads = r * self.read_fanout
-        return reads / (reads + w * self.replication_factor)
+        reads = r * self._effective_read_fanout()
+        return reads / (reads + w * self._effective_rf())
 
     def _fanout(self, read_ratio: float) -> float:
         """Node-ops per logical op."""
         r, w = read_ratio, 1.0 - read_ratio
-        return r * self.read_fanout + w * self.replication_factor
+        return r * self._effective_read_fanout() + w * self._effective_rf()
+
+    def _node_capacity(self, node: int, node_rr: float) -> float:
+        cap = self.nodes[node].sustainable_throughput(node_rr)
+        factor = self._slowdown.get(node)
+        return cap if factor is None else cap / factor
 
     def sustainable_throughput(self, read_ratio: float) -> float:
         """Logical ops/s the cluster sustains at this instant."""
+        live = self.live_node_indices
+        if not live:
+            raise DatastoreError("no live nodes")
         node_rr = self._node_read_share(read_ratio)
         fanout = self._fanout(read_ratio)
-        per_node = min(n.sustainable_throughput(node_rr) for n in self.nodes)
-        server_cap = per_node * self.n_nodes / fanout
+        per_node = min(self._node_capacity(i, node_rr) for i in live)
+        server_cap = per_node * len(live) / fanout
         client_cap = self.n_shooters * SHOOTER_CAPACITY_OPS
         return min(server_cap, client_cap)
 
@@ -119,10 +187,14 @@ class Cluster:
     def step(self, read_ratio: float, dt: float = 1.0) -> ClusterStepResult:
         """Advance the whole cluster ``dt`` seconds."""
         x = self.sustainable_throughput(read_ratio)
+        live = self.live_node_indices
         node_rr = self._node_read_share(read_ratio)
-        node_ops = x * self._fanout(read_ratio) / self.n_nodes
+        node_ops = x * self._fanout(read_ratio) / len(live)
         per_node = []
-        for node in self.nodes:
+        for i, node in enumerate(self.nodes):
+            if i in self._down:
+                per_node.append(0.0)
+                continue
             node.apply_external_load(
                 reads=node_ops * node_rr * dt,
                 writes=node_ops * (1.0 - node_rr) * dt,
@@ -130,7 +202,9 @@ class Cluster:
             )
             per_node.append(node_ops)
         self.t += dt
-        return ClusterStepResult(t=self.t, throughput=x, per_node_throughput=per_node)
+        return ClusterStepResult(
+            t=self.t, throughput=x, per_node_throughput=per_node, dt=dt
+        )
 
     def run(self, read_ratio: float, duration: float, dt: float = 1.0):
         """Step the cluster for ``duration`` seconds; per-step results."""
@@ -138,10 +212,22 @@ class Cluster:
         return [self.step(read_ratio, dt) for _ in range(steps)]
 
     def load(self, n_keys: int) -> None:
-        """Load phase: each node stores its replicated share of keys."""
-        per_node_keys = int(n_keys * self.replication_factor / self.n_nodes)
+        """Load phase: each node stores its replicated share of keys.
+
+        The total stored replica count is exactly
+        ``n_keys * replication_factor``: the division remainder is
+        spread over the first nodes instead of being silently dropped.
+        """
+        total = n_keys * self.replication_factor
+        base, remainder = divmod(total, self.n_nodes)
+        for i, node in enumerate(self.nodes):
+            node.load(base + (1 if i < remainder else 0))
+
+    def reconfigure(self, knobs: EngineKnobs) -> None:
+        """Push new engine knobs to every node (live and down alike —
+        a recovering node comes back with the current configuration)."""
         for node in self.nodes:
-            node.load(per_node_keys)
+            node.reconfigure(knobs)
 
     def settle(self, max_seconds: float = 600.0) -> None:
         """Drain every node's background work (between phases)."""
@@ -149,7 +235,8 @@ class Cluster:
             node.settle(max_seconds)
 
     def __repr__(self) -> str:
+        down = f", down={sorted(self._down)}" if self._down else ""
         return (
             f"Cluster({self.datastore.name} x{self.n_nodes}, "
-            f"RF={self.replication_factor}, shooters={self.n_shooters})"
+            f"RF={self.replication_factor}, shooters={self.n_shooters}{down})"
         )

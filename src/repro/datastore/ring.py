@@ -128,10 +128,11 @@ class EngineCluster:
         """Mark a node down (it keeps its data; writes skip it)."""
         if node_id not in self.nodes:
             raise DatastoreError(f"unknown node {node_id!r}")
-        self._down.add(node_id)
-        if len(self._down) == len(self.nodes):
-            self._down.discard(node_id)
+        # Validate before mutating: the rejected call must leave the
+        # down-set untouched rather than mutate and undo.
+        if node_id not in self._down and len(self._down) + 1 == len(self.nodes):
             raise DatastoreError("cannot fail the last live node")
+        self._down.add(node_id)
 
     def recover_node(self, node_id: str) -> None:
         """Bring a failed node back; read repair re-syncs it lazily."""

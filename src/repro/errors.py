@@ -38,3 +38,21 @@ class TrainingError(ReproError):
 
 class SearchError(ReproError):
     """Configuration search was invoked with an unusable setup."""
+
+
+class FaultError(ReproError):
+    """A fault — injected or real — disrupted an operation.
+
+    Raised for fault-plan misuse (out-of-range node, negative schedule)
+    and for failures that will not go away on their own.  See
+    :class:`TransientError` for the retryable flavour.
+    """
+
+
+class TransientError(FaultError):
+    """A retryable fault: the same operation may succeed if reissued.
+
+    The online controller's retry/backoff machinery and the execution
+    backend's worker-crash containment both key off this type; anything
+    else escapes immediately.
+    """

@@ -1,0 +1,268 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultPlan` is *data*: a frozen schedule of node crashes and
+recoveries, disk slowdowns, benchmark-client faults, and transient
+control-plane failures, addressed by controller window index (or, for
+benchmark faults, by campaign grid index).  Plans are either written by
+hand (canned scenarios, CI smoke jobs) or drawn from a seed with
+:meth:`FaultPlan.generate`; either way the same plan replayed against
+the same seeded system produces the identical event sequence, which is
+what makes fault runs auditable and regressions bisectable.
+
+The plan never *acts* — applying it to a live cluster/controller is the
+:class:`~repro.faults.injector.FaultInjector`'s job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import FaultError
+from repro.sim.rng import SeedLike, derive_rng
+
+#: Control-plane operations a :class:`TransientFault` can target.
+TRANSIENT_KINDS = ("search", "push")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """A node goes down at ``window`` and (optionally) comes back."""
+
+    window: int
+    node: int
+    recover_window: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.window < 0 or self.node < 0:
+            raise FaultError(f"node crash schedule must be non-negative: {self}")
+        if self.recover_window is not None and self.recover_window <= self.window:
+            raise FaultError(f"recovery must come after the crash: {self}")
+
+
+@dataclass(frozen=True)
+class DiskSlowdown:
+    """A node's disk degrades by ``factor`` between two windows."""
+
+    window: int
+    node: int
+    factor: float
+    end_window: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.window < 0 or self.node < 0:
+            raise FaultError(f"slowdown schedule must be non-negative: {self}")
+        if self.factor < 1.0:
+            raise FaultError(f"slowdown factor must be >= 1, got {self.factor}")
+        if self.end_window is not None and self.end_window <= self.window:
+            raise FaultError(f"slowdown must end after it starts: {self}")
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """A control-plane operation fails ``failures`` times at ``window``.
+
+    ``kind`` is ``"search"`` (the surrogate search / recommendation) or
+    ``"push"`` (applying a configuration to the server).  A retry budget
+    larger than ``failures`` heals the fault; a smaller one drives the
+    controller into degraded mode.
+    """
+
+    kind: str
+    window: int
+    failures: int = 1
+
+    def validate(self) -> None:
+        if self.kind not in TRANSIENT_KINDS:
+            raise FaultError(f"unknown transient fault kind {self.kind!r}")
+        if self.window < 0 or self.failures < 1:
+            raise FaultError(f"transient fault schedule invalid: {self}")
+
+
+@dataclass(frozen=True)
+class BenchFault:
+    """A load-generating client fault on one campaign grid point.
+
+    ``transient=True`` (the §4.2 reading: a flaky client, not a broken
+    server) means a retried sample comes back clean; a persistent fault
+    re-applies ``degradation`` on every retry.
+    """
+
+    index: int
+    degradation: float
+    transient: bool = True
+
+    def validate(self) -> None:
+        if self.index < 0:
+            raise FaultError(f"bench fault index must be >= 0, got {self.index}")
+        if not (0.0 < self.degradation < 1.0):
+            raise FaultError(
+                f"bench degradation must be in (0, 1), got {self.degradation}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic fault schedule."""
+
+    node_crashes: Tuple[NodeCrash, ...] = ()
+    disk_slowdowns: Tuple[DiskSlowdown, ...] = ()
+    transient_faults: Tuple[TransientFault, ...] = ()
+    bench_faults: Tuple[BenchFault, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        # Tolerate lists in hand-written plans.
+        object.__setattr__(self, "node_crashes", tuple(self.node_crashes))
+        object.__setattr__(self, "disk_slowdowns", tuple(self.disk_slowdowns))
+        object.__setattr__(self, "transient_faults", tuple(self.transient_faults))
+        object.__setattr__(self, "bench_faults", tuple(self.bench_faults))
+
+    def validate(self, n_nodes: Optional[int] = None) -> None:
+        """Check schedule sanity; with ``n_nodes``, also node ranges."""
+        for item in (
+            *self.node_crashes,
+            *self.disk_slowdowns,
+            *self.transient_faults,
+            *self.bench_faults,
+        ):
+            item.validate()
+        if n_nodes is not None:
+            for item in (*self.node_crashes, *self.disk_slowdowns):
+                if item.node >= n_nodes:
+                    raise FaultError(
+                        f"fault targets node {item.node} but the cluster has "
+                        f"{n_nodes} nodes"
+                    )
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.node_crashes
+            or self.disk_slowdowns
+            or self.transient_faults
+            or self.bench_faults
+        )
+
+    @property
+    def max_node(self) -> int:
+        """Highest node index any fault touches (-1 if none)."""
+        nodes = [f.node for f in (*self.node_crashes, *self.disk_slowdowns)]
+        return max(nodes) if nodes else -1
+
+    # -- generation ----------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        seed: SeedLike,
+        n_windows: int,
+        n_nodes: int = 1,
+        crash_probability: float = 0.05,
+        slowdown_probability: float = 0.05,
+        search_fault_probability: float = 0.03,
+        push_fault_probability: float = 0.03,
+        max_outage_windows: int = 3,
+        max_slowdown_factor: float = 4.0,
+    ) -> "FaultPlan":
+        """Draw a random-but-reproducible plan for an online run.
+
+        Per window, each fault class fires independently with its
+        configured probability; crashed nodes recover after 1..
+        ``max_outage_windows`` windows.  At most one node is scheduled
+        down at a time so a plan can never strand the cluster below one
+        live node.
+        """
+        if n_windows < 1:
+            raise FaultError("need at least one window")
+        if n_nodes < 1:
+            raise FaultError("need at least one node")
+        rng = derive_rng(seed)
+        crashes = []
+        slowdowns = []
+        transients = []
+        down_until = -1  # last window of the currently scheduled outage
+        for w in range(n_windows):
+            if n_nodes > 1 and w > down_until and rng.random() < crash_probability:
+                node = int(rng.integers(n_nodes))
+                outage = int(rng.integers(1, max_outage_windows + 1))
+                recover = w + outage
+                crashes.append(
+                    NodeCrash(
+                        window=w,
+                        node=node,
+                        recover_window=recover if recover < n_windows else None,
+                    )
+                )
+                down_until = recover
+            if rng.random() < slowdown_probability:
+                node = int(rng.integers(n_nodes))
+                factor = float(1.5 + (max_slowdown_factor - 1.5) * rng.random())
+                length = int(rng.integers(1, max_outage_windows + 1))
+                end = w + length
+                slowdowns.append(
+                    DiskSlowdown(
+                        window=w,
+                        node=node,
+                        factor=factor,
+                        end_window=end if end < n_windows else None,
+                    )
+                )
+            if rng.random() < search_fault_probability:
+                transients.append(
+                    TransientFault(
+                        kind="search", window=w, failures=int(rng.integers(1, 3))
+                    )
+                )
+            if rng.random() < push_fault_probability:
+                transients.append(
+                    TransientFault(
+                        kind="push", window=w, failures=int(rng.integers(1, 3))
+                    )
+                )
+        return cls(
+            node_crashes=tuple(crashes),
+            disk_slowdowns=tuple(slowdowns),
+            transient_faults=tuple(transients),
+        )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "node_crashes": [asdict(c) for c in self.node_crashes],
+            "disk_slowdowns": [asdict(s) for s in self.disk_slowdowns],
+            "transient_faults": [asdict(t) for t in self.transient_faults],
+            "bench_faults": [asdict(b) for b in self.bench_faults],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FaultPlan":
+        try:
+            return cls(
+                node_crashes=tuple(
+                    NodeCrash(**c) for c in payload.get("node_crashes", [])
+                ),
+                disk_slowdowns=tuple(
+                    DiskSlowdown(**s) for s in payload.get("disk_slowdowns", [])
+                ),
+                transient_faults=tuple(
+                    TransientFault(**t) for t in payload.get("transient_faults", [])
+                ),
+                bench_faults=tuple(
+                    BenchFault(**b) for b in payload.get("bench_faults", [])
+                ),
+            )
+        except TypeError as exc:
+            raise FaultError(f"malformed fault plan: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultError(f"fault plan is not valid JSON: {exc}") from exc
+        return cls.from_dict(payload)

@@ -24,6 +24,7 @@ from repro.runtime.backend import (
     SerialBackend,
     resolve_backend,
 )
+from repro.runtime.deprecation import reset_deprecation_registry, warn_deprecated
 from repro.runtime.events import Event, EventBus, callback_subscriber
 
 __all__ = [
@@ -34,4 +35,6 @@ __all__ = [
     "Event",
     "EventBus",
     "callback_subscriber",
+    "warn_deprecated",
+    "reset_deprecation_registry",
 ]

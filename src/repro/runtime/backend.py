@@ -14,13 +14,26 @@ and compare artifacts exactly.
 the *parent* process as results arrive (completion order for the process
 pool, task order for the serial backend).  Progress reporting hangs off
 this hook so workers never need a channel back to the UI.
+
+Worker crashes are contained rather than fatal: when the pool breaks
+(a worker segfaults, is OOM-killed, or otherwise dies mid-task), the
+in-flight tasks are requeued onto a fresh pool with a bounded per-task
+retry budget, and if the pool keeps collapsing the remaining tasks run
+serially in the parent — so a campaign finishes instead of dying with a
+raw ``BrokenProcessPool``.  Because a re-run task re-pickles its
+pristine parent-side state (including its RNG), retried results are
+bitwise-identical to first-try results.
 """
 
 from __future__ import annotations
 
 import os
+from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
+
+from repro.runtime.events import EventBus
 
 __all__ = [
     "ExecutionBackend",
@@ -73,15 +86,36 @@ class ProcessPoolBackend(ExecutionBackend):
     and reused across calls; ``close()`` (or use as a context manager)
     shuts it down.  With ``workers=1`` or a single task, execution falls
     back to the serial path to avoid pointless process overhead.
+
+    ``task_retries`` bounds how many times one task may be requeued
+    after taking its pool down with it; ``pool_restarts`` bounds how
+    many fresh pools one ``map_tasks`` call will build before giving up
+    on process isolation and finishing the remaining tasks serially.
+    ``events`` (optional) receives ``backend.pool_broken`` /
+    ``backend.serial_fallback`` records for auditing.
     """
 
-    def __init__(self, workers: Optional[int] = None, max_pending: Optional[int] = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        task_retries: int = 2,
+        pool_restarts: int = 2,
+        events: Optional[EventBus] = None,
+    ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
+        if task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if pool_restarts < 0:
+            raise ValueError("pool_restarts must be >= 0")
         self.workers = workers or os.cpu_count() or 1
         #: Cap on simultaneously submitted futures, bounding memory for
         #: large campaigns; defaults to 4 in-flight tasks per worker.
         self.max_pending = max_pending or 4 * self.workers
+        self.task_retries = task_retries
+        self.pool_restarts = pool_restarts
+        self.events = events
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def _pool(self) -> ProcessPoolExecutor:
@@ -89,33 +123,88 @@ class ProcessPoolBackend(ExecutionBackend):
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
         return self._executor
 
+    def _discard_pool(self) -> None:
+        """Drop a broken executor without waiting on its corpses."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def _publish(self, topic: str, message: str, **payload) -> None:
+        if self.events is not None:
+            self.events.publish(topic, message, **payload)
+
     def map_tasks(self, fn, tasks, on_result=None) -> List[Any]:
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             return SerialBackend().map_tasks(fn, tasks, on_result=on_result)
 
-        pool = self._pool()
         results: List[Any] = [None] * len(tasks)
-        pending = {}
-        next_index = 0
+        completed = [False] * len(tasks)
+        attempts = [0] * len(tasks)
+        queue = deque(range(len(tasks)))
+        pending: dict = {}
+        restarts = 0
 
-        def drain(return_when):
-            nonlocal pending
-            done, not_done = wait(pending, return_when=return_when)
-            for future in done:
-                index = pending[future]
-                results[index] = future.result()  # re-raises worker errors
-                if on_result is not None:
-                    on_result(index, results[index])
-            pending = {f: pending[f] for f in not_done}
+        def finish(index: int, result: Any) -> None:
+            results[index] = result
+            completed[index] = True
+            if on_result is not None:
+                on_result(index, result)
 
-        while next_index < len(tasks):
-            while next_index < len(tasks) and len(pending) < self.max_pending:
-                pending[pool.submit(fn, tasks[next_index])] = next_index
-                next_index += 1
-            drain(FIRST_COMPLETED)
-        while pending:
-            drain(FIRST_COMPLETED)
+        def run_serially() -> None:
+            for index in range(len(tasks)):
+                if not completed[index]:
+                    finish(index, fn(tasks[index]))
+
+        while queue or pending:
+            victims: Optional[List[int]] = None
+            try:
+                while queue and len(pending) < self.max_pending:
+                    index = queue.popleft()
+                    attempts[index] += 1
+                    pending[self._pool().submit(fn, tasks[index])] = index
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                # ``done`` can mix real completions with futures poisoned
+                # by the pool's death; harvest the former, collect the
+                # latter as victims alongside the still-pending tasks.
+                crashed: List[int] = []
+                for future in done:
+                    index = pending.pop(future)
+                    try:
+                        finish(index, future.result())  # re-raises task errors
+                    except BrokenProcessPool:
+                        crashed.append(index)
+                if crashed:
+                    victims = sorted(crashed + list(pending.values()))
+            except BrokenProcessPool:
+                # submit()/wait() on an already-broken pool: every
+                # in-flight task died without a result, all safe to re-run.
+                victims = sorted(pending.values())
+            if victims is None:
+                continue
+            pending.clear()
+            self._discard_pool()
+            restarts += 1
+            exhausted = [i for i in victims if attempts[i] > self.task_retries]
+            self._publish(
+                "backend.pool_broken",
+                f"worker pool broke (restart {restarts}); "
+                f"{len(victims)} tasks requeued",
+                restarts=restarts, victims=victims, exhausted=exhausted,
+            )
+            if restarts > self.pool_restarts or exhausted:
+                # Containment failed: give up on process isolation and
+                # finish the remainder in the parent, in order.
+                self._publish(
+                    "backend.serial_fallback",
+                    "falling back to serial execution for "
+                    f"{sum(1 for c in completed if not c)} remaining tasks",
+                    restarts=restarts, exhausted=exhausted,
+                )
+                run_serially()
+                return results
+            # Retry the victims first, preserving their original order.
+            queue.extendleft(reversed(victims))
         return results
 
     def close(self) -> None:

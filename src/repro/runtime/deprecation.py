@@ -1,0 +1,36 @@
+"""One funnel for the package's deprecation warnings.
+
+The legacy shims (string ``progress`` callbacks bridged onto the
+:class:`~repro.runtime.events.EventBus`, the controller's string
+``decision_mode``) each used to document their deprecation in prose
+only; this module makes them *warn*, exactly once per process per shim,
+so long-running campaigns are not spammed while interactive users still
+see the migration hint.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+__all__ = ["warn_deprecated", "reset_deprecation_registry"]
+
+_warned: Set[str] = set()
+
+
+def warn_deprecated(key: str, message: str, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning`` for ``key`` the first time only.
+
+    ``key`` names the shim (e.g. ``"pipeline.progress"``); subsequent
+    calls with the same key are silent.  ``stacklevel`` defaults to the
+    shim's caller (helper -> shim -> caller).
+    """
+    if key in _warned:
+        return
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset_deprecation_registry() -> None:
+    """Forget which shims have warned (test isolation hook)."""
+    _warned.clear()

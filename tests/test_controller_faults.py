@@ -1,0 +1,297 @@
+"""Self-healing controller: retry, degraded mode, canary rollback.
+
+Includes the PR's acceptance scenario: a seeded FaultPlan crashing one
+of four nodes mid-run must leave the controller able to finish the trace
+end-to-end, emit ``controller.rollback`` when the canary undershoots,
+and reproduce the identical event sequence when replayed.
+"""
+
+import pytest
+
+from repro.core.controller import OnlineController, RetryPolicy
+from repro.core.search import OptimizationResult
+from repro.datastore import CassandraLike
+from repro.errors import SearchError
+from repro.faults import FaultPlan, NodeCrash, TransientFault
+from repro.runtime import EventBus
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=500_000)
+
+
+class FakeRafiki:
+    """Two-regime recommender with a constant surrogate prediction."""
+
+    def __init__(self, datastore, predicted=50_000.0, std=0.0):
+        self.datastore = datastore
+        self.predicted = predicted
+        self.std = std
+        self.calls = []
+
+    def _config_for(self, read_ratio):
+        if read_ratio >= 0.5:
+            return self.datastore.space.configuration(
+                compaction_method="LeveledCompactionStrategy",
+                file_cache_size_in_mb=2048,
+            )
+        return self.datastore.default_configuration()
+
+    def recommend(self, read_ratio, use_cache=True):
+        self.calls.append(read_ratio)
+        return OptimizationResult(
+            configuration=self._config_for(read_ratio),
+            predicted_throughput=self.predicted,
+            evaluations=1,
+            equivalent_wall_seconds=0.0,
+            strategy="fake",
+        )
+
+    def predicted_mean_std(self, read_ratio, config):
+        return self.predicted, self.std
+
+
+def capture(bus, prefix):
+    events = []
+    bus.subscribe(lambda e: events.append(e), topic=prefix)
+    return events
+
+
+class TestRetryAndDegraded:
+    def test_transient_search_fault_healed_by_retry(self, cassandra, workload):
+        plan = FaultPlan(
+            transient_faults=(TransientFault(kind="search", window=0, failures=1),)
+        )
+        bus = EventBus()
+        retries = capture(bus, "controller.retry")
+        ctrl = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            fault_plan=plan,
+            events=bus,
+            retry=RetryPolicy(max_attempts=3, backoff_s=1.0),
+        )
+        run = ctrl.run([0.9, 0.9], load=False)
+        assert len(retries) == 1
+        assert run.events[0].reconfigured
+        assert not run.events[0].degraded
+
+    def test_exhausted_search_budget_degrades_to_default(self, cassandra, workload):
+        plan = FaultPlan(
+            transient_faults=(TransientFault(kind="search", window=0, failures=9),)
+        )
+        bus = EventBus()
+        degraded = capture(bus, "controller.degraded")
+        ctrl = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            fault_plan=plan,
+            events=bus,
+            retry=RetryPolicy(max_attempts=2, backoff_s=1.0),
+        )
+        run = ctrl.run([0.9, 0.9], load=False)
+        assert run.events[0].degraded
+        assert run.events[0].configuration == cassandra.default_configuration()
+        assert degraded and degraded[0].payload["reason"] == "search"
+        # The fault clears after window 0: the controller recovers on its
+        # own and reconfigures at the next decision point.
+        assert run.events[1].reconfigured
+
+    def test_exhausted_push_budget_keeps_current_config(self, cassandra, workload):
+        plan = FaultPlan(
+            transient_faults=(TransientFault(kind="push", window=0, failures=9),)
+        )
+        bus = EventBus()
+        degraded = capture(bus, "controller.degraded")
+        ctrl = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            fault_plan=plan,
+            events=bus,
+            retry=RetryPolicy(max_attempts=2, backoff_s=1.0),
+        )
+        run = ctrl.run([0.9], load=False)
+        assert run.events[0].degraded
+        assert not run.events[0].reconfigured
+        assert run.events[0].configuration == cassandra.default_configuration()
+        assert degraded[0].payload["reason"] == "push"
+
+    def test_retry_backoff_charged_against_window(self, cassandra, workload):
+        plan = FaultPlan(
+            transient_faults=(TransientFault(kind="search", window=0, failures=2),)
+        )
+        flaky = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            fault_plan=plan,
+            retry=RetryPolicy(max_attempts=3, backoff_s=10.0),
+            seed=7,
+        ).run([0.9], load=False)
+        clean = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            seed=7,
+        ).run([0.9], load=False)
+        assert flaky.events[0].mean_throughput < clean.events[0].mean_throughput
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(SearchError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(SearchError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(SearchError):
+            RetryPolicy(backoff_s=-1.0)
+
+    def test_node_faults_require_multi_node_cluster(self, cassandra, workload):
+        plan = FaultPlan(node_crashes=(NodeCrash(window=0, node=0),))
+        with pytest.raises(SearchError):
+            OnlineController(
+                cassandra, None, workload, fault_plan=plan, n_nodes=1
+            )
+
+    def test_plan_node_range_checked(self, cassandra, workload):
+        plan = FaultPlan(node_crashes=(NodeCrash(window=0, node=7),))
+        with pytest.raises(SearchError):
+            OnlineController(
+                cassandra, None, workload, fault_plan=plan, n_nodes=4
+            )
+
+
+class TestCanaryRollback:
+    def make_controller(self, cassandra, workload, bus, rafiki=None):
+        return OnlineController(
+            cassandra,
+            rafiki or FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            rr_change_threshold=0.1,
+            fault_plan=FaultPlan(
+                node_crashes=(NodeCrash(window=4, node=1, recover_window=6),)
+            ),
+            events=bus,
+            n_nodes=4,
+            replication_factor=2,
+            canary_margin=0.05,
+            canary_std_factor=2.0,
+            seed=7,
+        )
+
+    SERIES = [0.2, 0.2, 0.2, 0.2, 0.9, 0.9, 0.9, 0.9]
+
+    def test_acceptance_scenario_rolls_back_and_completes(self, cassandra, workload):
+        """Crash 1 of 4 nodes in the same window as a reconfiguration:
+        the canary sees the throughput collapse, blames the new config,
+        reverts it, and the run still completes end to end."""
+        bus = EventBus()
+        rollbacks = capture(bus, "controller.rollback")
+        faults = capture(bus, "fault.injected")
+        run = self.make_controller(cassandra, workload, bus).run(
+            self.SERIES, load=False
+        )
+        assert len(run.events) == len(self.SERIES)
+        assert len(rollbacks) >= 1
+        assert run.rollback_count >= 1
+        assert any(f.payload["kind"] == "node-crash" for f in faults)
+        rolled = next(e for e in run.events if e.rolled_back)
+        # The rollback restored the pre-push configuration.
+        assert rolled.configuration == cassandra.default_configuration()
+
+    def test_event_sequence_reproducible(self, cassandra, workload):
+        def one_run():
+            bus = EventBus()
+            seen = []
+            bus.subscribe(
+                lambda e: seen.append((e.topic, e.message, tuple(sorted(e.payload.items()))))
+            )
+            run = self.make_controller(cassandra, workload, bus).run(
+                self.SERIES, load=False
+            )
+            return seen, [
+                (e.reconfigured, e.rolled_back, e.degraded, e.mean_throughput)
+                for e in run.events
+            ]
+
+        first, second = one_run(), one_run()
+        assert first == second
+
+    def test_healthy_canary_does_not_roll_back(self, cassandra, workload):
+        """Same trace, no faults: the push survives its canary."""
+        bus = EventBus()
+        rollbacks = capture(bus, "controller.rollback")
+        ctrl = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            rr_change_threshold=0.1,
+            events=bus,
+            n_nodes=4,
+            replication_factor=2,
+            canary_margin=0.05,
+            seed=7,
+        )
+        run = ctrl.run(self.SERIES, load=False)
+        assert rollbacks == []
+        assert run.rollback_count == 0
+        assert run.reconfiguration_count >= 1
+
+    def test_canary_requires_capable_rafiki(self, cassandra, workload):
+        class BareRafiki:
+            def recommend(self, rr, use_cache=True):  # pragma: no cover
+                raise NotImplementedError
+
+        with pytest.raises(SearchError):
+            OnlineController(
+                cassandra, BareRafiki(), workload, canary_margin=0.1
+            )
+
+    def test_canary_margin_validated(self, cassandra, workload):
+        with pytest.raises(SearchError):
+            OnlineController(
+                cassandra, FakeRafiki(cassandra), workload, canary_margin=1.5
+            )
+
+    def test_uncertain_surrogate_widens_tolerance(self, cassandra, workload):
+        """A huge ensemble spread should suppress the rollback that a
+        confident surrogate would have triggered."""
+        bus = EventBus()
+        rollbacks = capture(bus, "controller.rollback")
+        uncertain = FakeRafiki(cassandra, std=1e9)
+        run = self.make_controller(cassandra, workload, bus, rafiki=uncertain).run(
+            self.SERIES, load=False
+        )
+        assert rollbacks == []
+        assert run.rollback_count == 0
+
+
+class TestMultiNodeFaultFreeParity:
+    def test_multi_node_run_completes_without_faults(self, cassandra, workload):
+        run = OnlineController(
+            cassandra,
+            FakeRafiki(cassandra),
+            workload,
+            window_seconds=60,
+            n_nodes=3,
+            replication_factor=2,
+            seed=7,
+        ).run([0.2, 0.9, 0.9], load=False)
+        assert len(run.events) == 3
+        assert all(e.mean_throughput > 0 for e in run.events)
+        assert run.degraded_count == 0

@@ -192,3 +192,124 @@ class TestCluster:
         cluster = Cluster(cassandra, cfg, n_nodes=2, replication_factor=2, n_shooters=2, seed=1)
         cluster.run(0.0, duration=120)
         assert all(n.memtable_bytes > 0 or n.total_flushes > 0 for n in cluster.nodes)
+
+
+class TestClusterFaults:
+    def make(self, cassandra, n_nodes=3, rf=2):
+        cluster = Cluster(
+            cassandra,
+            cassandra.default_configuration(),
+            n_nodes=n_nodes,
+            replication_factor=rf,
+            n_shooters=n_nodes,
+            seed=1,
+        )
+        cluster.load(600_000)
+        return cluster
+
+    def test_failed_node_reduces_throughput(self, cassandra):
+        cluster = self.make(cassandra)
+        healthy = cluster.sustainable_throughput(0.5)
+        cluster.fail_node(1)
+        assert cluster.live_node_indices == [0, 2]
+        assert cluster.down_node_indices == [1]
+        assert cluster.sustainable_throughput(0.5) < healthy
+
+    def test_recovery_restores_capacity(self, cassandra):
+        cluster = self.make(cassandra)
+        healthy = cluster.sustainable_throughput(0.5)
+        cluster.fail_node(0)
+        cluster.recover_node(0)
+        assert cluster.down_node_indices == []
+        assert cluster.sustainable_throughput(0.5) == pytest.approx(healthy)
+
+    def test_cannot_fail_last_live_node(self, cassandra):
+        cluster = self.make(cassandra, n_nodes=2, rf=1)
+        cluster.fail_node(0)
+        with pytest.raises(DatastoreError):
+            cluster.fail_node(1)
+        # The refused call must not have poisoned the down-set.
+        assert cluster.down_node_indices == [0]
+        # Re-failing an already-down node stays legal (idempotent).
+        cluster.fail_node(0)
+
+    def test_node_index_validated(self, cassandra):
+        cluster = self.make(cassandra)
+        with pytest.raises(DatastoreError):
+            cluster.fail_node(9)
+        with pytest.raises(DatastoreError):
+            cluster.recover_node(-1)
+
+    def test_down_node_serves_nothing_in_step(self, cassandra):
+        cluster = self.make(cassandra)
+        cluster.fail_node(2)
+        result = cluster.step(0.5)
+        assert result.per_node_throughput[2] == 0.0
+        assert result.throughput > 0
+
+    def test_disk_slowdown_drags_cluster(self, cassandra):
+        cluster = self.make(cassandra)
+        healthy = cluster.sustainable_throughput(0.5)
+        cluster.set_disk_slowdown(0, 4.0)
+        degraded = cluster.sustainable_throughput(0.5)
+        assert degraded < healthy
+        cluster.set_disk_slowdown(0, 1.0)  # factor 1 clears
+        assert cluster.sustainable_throughput(0.5) == pytest.approx(healthy)
+
+    def test_slowdown_factor_validated(self, cassandra):
+        cluster = self.make(cassandra)
+        with pytest.raises(DatastoreError):
+            cluster.set_disk_slowdown(0, 0.5)
+
+    def test_reconfigure_reaches_down_nodes(self, cassandra):
+        cluster = self.make(cassandra)
+        cluster.fail_node(1)
+        config = cassandra.space.configuration(concurrent_reads=64)
+        cluster.reconfigure(cassandra.effective_knobs(config))
+        cluster.recover_node(1)
+        assert all(
+            n.knobs.concurrent_reads == 64 for n in cluster.nodes
+        )
+
+    def test_all_nodes_down_rejected_in_capacity_math(self, cassandra):
+        cluster = self.make(cassandra, n_nodes=2, rf=1)
+        cluster._down = {0, 1}  # unreachable via fail_node; simulate anyway
+        with pytest.raises(DatastoreError):
+            cluster.sustainable_throughput(0.5)
+
+
+class TestClusterLoadDistribution:
+    @staticmethod
+    def loaded_keys(cluster, n_keys):
+        """Record what cluster.load hands each node."""
+        per_node = []
+        for node in cluster.nodes:
+            node.load = per_node.append  # type: ignore[method-assign]
+        cluster.load(n_keys)
+        return per_node
+
+    def test_total_replicas_conserved(self, cassandra):
+        """The divmod fix: n_keys x RF replicas land in total even when
+        the division leaves a remainder."""
+        cluster = Cluster(
+            cassandra,
+            cassandra.default_configuration(),
+            n_nodes=3,
+            replication_factor=2,
+            n_shooters=3,
+            seed=1,
+        )
+        per_node = self.loaded_keys(cluster, 1_000_001)  # 2_000_002 over 3
+        assert sum(per_node) == 1_000_001 * 2
+        assert max(per_node) - min(per_node) <= 1
+
+    def test_even_split_unchanged(self, cassandra):
+        cluster = Cluster(
+            cassandra,
+            cassandra.default_configuration(),
+            n_nodes=4,
+            replication_factor=2,
+            n_shooters=4,
+            seed=1,
+        )
+        assert self.loaded_keys(cluster, 1_000_000) == [500_000] * 4

@@ -1,0 +1,113 @@
+"""The deprecated string shims warn through one helper, exactly once."""
+
+import warnings
+
+import pytest
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.core.anova import rank_parameters
+from repro.core.controller import OnlineController
+from repro.core.rafiki import RafikiPipeline
+from repro.datastore import CassandraLike
+from repro.runtime import reset_deprecation_registry, warn_deprecated
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=500_000)
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    reset_deprecation_registry()
+    yield
+    reset_deprecation_registry()
+
+
+def warning_count(fn):
+    """Run ``fn`` twice; count DeprecationWarnings across both calls."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        fn()
+        fn()
+    return sum(1 for w in caught if issubclass(w.category, DeprecationWarning))
+
+
+class TestHelper:
+    def test_warns_once_per_key(self):
+        with pytest.warns(DeprecationWarning, match="gone soon"):
+            warn_deprecated("test.key", "gone soon")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_deprecated("test.key", "gone soon")
+        assert caught == []
+
+    def test_distinct_keys_warn_independently(self):
+        with pytest.warns(DeprecationWarning):
+            warn_deprecated("test.a", "a")
+        with pytest.warns(DeprecationWarning):
+            warn_deprecated("test.b", "b")
+
+    def test_reset_reenables(self):
+        with pytest.warns(DeprecationWarning):
+            warn_deprecated("test.key", "gone soon")
+        reset_deprecation_registry()
+        with pytest.warns(DeprecationWarning):
+            warn_deprecated("test.key", "gone soon")
+
+
+class TestShimsWarnExactlyOnce:
+    def test_controller_decision_mode(self, cassandra, workload):
+        assert (
+            warning_count(
+                lambda: OnlineController(
+                    cassandra, None, workload, decision_mode="oracle"
+                )
+            )
+            == 1
+        )
+
+    def test_controller_default_mode_is_silent(self, cassandra, workload):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            OnlineController(cassandra, None, workload)
+        assert not any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_pipeline_progress(self, cassandra, workload):
+        assert (
+            warning_count(
+                lambda: RafikiPipeline(cassandra, workload, progress=lambda m: None)
+            )
+            == 1
+        )
+
+    def test_campaign_progress(self, cassandra, workload):
+        assert (
+            warning_count(
+                lambda: DataCollectionCampaign(
+                    cassandra, workload, progress=lambda i, t: None
+                )
+            )
+            == 1
+        )
+
+    def test_anova_progress(self, cassandra, workload):
+        def run():
+            rank_parameters(
+                cassandra,
+                workload,
+                parameters=["concurrent_reads"],
+                sweep_count=2,
+                repeats=1,
+                progress=lambda m: None,
+            )
+
+        assert warning_count(run) == 1

@@ -1,0 +1,138 @@
+"""Property-based fault test for the replicated data path.
+
+Random interleavings of put/get/fail/recover against an
+:class:`EngineCluster` at QUORUM must uphold the R + W > RF contract:
+
+* an **acknowledged** write (put that did not raise) is never lost — a
+  later successful quorum read returns the newest acknowledged value;
+* after every node recovers, read repair converges all replicas to the
+  acknowledged state.
+
+Writes rejected for an unreachable quorum make no durability promise and
+are excluded from the model.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.datastore import CassandraLike, EngineCluster  # noqa: E402
+from repro.errors import DatastoreError  # noqa: E402
+
+N_NODES = 4
+RF = 3
+KEYS = [f"k{i}" for i in range(6)]
+
+# One random script step: (op, key-index, node-index, payload-byte).
+step = st.tuples(
+    st.sampled_from(["put", "get", "fail", "recover", "delete"]),
+    st.integers(min_value=0, max_value=len(KEYS) - 1),
+    st.integers(min_value=0, max_value=N_NODES - 1),
+    st.integers(min_value=0, max_value=255),
+)
+
+
+CASSANDRA = CassandraLike()
+
+
+def fresh_cluster():
+    return EngineCluster(
+        CASSANDRA,
+        CASSANDRA.default_configuration(),
+        n_nodes=N_NODES,
+        replication_factor=RF,
+        consistency_level="QUORUM",
+        read_repair=True,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(script=st.lists(step, min_size=1, max_size=60))
+def test_acknowledged_quorum_writes_never_lost(script):
+    cluster = fresh_cluster()
+    expected = {}  # key -> last acknowledged value (None = tombstoned)
+    for op, ki, ni, byte in script:
+        key = KEYS[ki]
+        node = f"node{ni}"
+        if op == "put":
+            value = bytes([byte])
+            try:
+                cluster.put(key, value)
+            except DatastoreError:
+                continue  # unacknowledged: no promise made
+            expected[key] = value
+        elif op == "delete":
+            try:
+                cluster.delete(key)
+            except DatastoreError:
+                continue
+            expected[key] = None
+        elif op == "fail":
+            try:
+                cluster.fail_node(node)
+            except DatastoreError:
+                pass  # last live node: refusal is the contract
+        elif op == "recover":
+            cluster.recover_node(node)
+        else:  # get
+            try:
+                observed = cluster.get(key)
+            except DatastoreError:
+                continue  # quorum unreachable: read makes no promise
+            if key in expected:
+                assert observed == expected[key], (
+                    f"lost acknowledged write for {key!r}: "
+                    f"got {observed!r}, expected {expected[key]!r}"
+                )
+            else:
+                assert observed is None
+
+    # -- recovery: bring everyone back, verify convergence ------------------
+    for ni in range(N_NODES):
+        cluster.recover_node(f"node{ni}")
+    for key, value in expected.items():
+        assert cluster.get(key) == value
+        # An ALL read consults every replica, so after read repair a
+        # second ALL read must see identical state on each of them.
+        cluster.consistency_level = "ALL"
+        assert cluster.get(key) == value
+        cluster.consistency_level = "QUORUM"
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    failures=st.lists(
+        st.integers(min_value=0, max_value=N_NODES - 1),
+        min_size=1,
+        max_size=2,
+        unique=True,
+    ),
+    byte=st.integers(min_value=0, max_value=255),
+)
+def test_read_repair_converges_after_recovery(failures, byte):
+    """Write healthy, fail nodes, overwrite, recover: the stale replicas
+    must be repaired to the newest acknowledged value."""
+    cluster = fresh_cluster()
+    key = "hotkey"
+    cluster.put(key, b"old")
+    for ni in failures:
+        try:
+            cluster.fail_node(f"node{ni}")
+        except DatastoreError:
+            pass
+    new_value = bytes([byte])
+    try:
+        cluster.put(key, new_value)
+        acknowledged = new_value
+    except DatastoreError:
+        acknowledged = b"old"
+    for ni in range(N_NODES):
+        cluster.recover_node(f"node{ni}")
+    # ALL reads consult and repair every replica of the key.
+    cluster.consistency_level = "ALL"
+    assert cluster.get(key) == acknowledged
+    replicas = cluster.ring.replicas_for(key, RF)
+    records = [cluster.nodes[r].get_record(key) for r in replicas]
+    assert all(rec is not None and rec.value == acknowledged for rec in records)

@@ -1,9 +1,12 @@
 """Execution backends: ordering, hooks, fallbacks, error propagation."""
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
-from repro.runtime import ProcessPoolBackend, SerialBackend, resolve_backend
+from repro.runtime import EventBus, ProcessPoolBackend, SerialBackend, resolve_backend
 
 
 def square(x):
@@ -17,6 +20,37 @@ def draw(rng):
 
 def boom(x):
     raise ValueError(f"task {x} failed")
+
+
+def crash_once(task):
+    """Hard-kill the worker on the first attempt at a marked task.
+
+    ``task`` is ``(value, sentinel_path)``; the sentinel file records
+    that the crash already happened so the retry succeeds.
+    """
+    value, sentinel = task
+    if sentinel is not None and not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)  # simulates a segfault / OOM kill
+    return value * value
+
+
+def crash_in_workers(task):
+    """Die whenever run inside a pool worker; succeed inline."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return task * task
+
+
+def draw_maybe_crash(task):
+    """Like :func:`draw`, but crash the worker once for a marked task."""
+    rng, sentinel = task
+    if sentinel is not None and not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("crashed")
+        os._exit(1)
+    return float(rng.random())
 
 
 class TestSerialBackend:
@@ -86,6 +120,60 @@ class TestProcessPoolBackend:
         backend.close()
         # Reusable after close: a fresh pool is created lazily.
         assert backend.map_tasks(square, [3, 4]) == [9, 16]
+
+
+class TestWorkerCrashContainment:
+    def test_crashed_task_retried_on_fresh_pool(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        tasks = [(i, sentinel if i == 3 else None) for i in range(6)]
+        bus = EventBus()
+        broken = []
+        bus.subscribe(lambda e: broken.append(e), topic="backend.pool_broken")
+        with ProcessPoolBackend(workers=2, task_retries=2, events=bus) as backend:
+            results = backend.map_tasks(crash_once, tasks)
+        assert results == [i * i for i in range(6)]
+        assert len(broken) == 1
+        assert 3 in broken[0].payload["victims"]
+
+    def test_on_result_fires_for_retried_tasks(self, tmp_path):
+        sentinel = str(tmp_path / "crashed-once")
+        tasks = [(i, sentinel if i == 0 else None) for i in range(5)]
+        seen = []
+        with ProcessPoolBackend(workers=2, task_retries=2) as backend:
+            backend.map_tasks(
+                crash_once, tasks, on_result=lambda i, r: seen.append(i)
+            )
+        assert sorted(seen) == [0, 1, 2, 3, 4]
+
+    def test_persistent_crasher_falls_back_to_serial(self):
+        bus = EventBus()
+        fallbacks = []
+        bus.subscribe(lambda e: fallbacks.append(e), topic="backend.serial_fallback")
+        with ProcessPoolBackend(
+            workers=2, task_retries=1, pool_restarts=2, events=bus
+        ) as backend:
+            results = backend.map_tasks(crash_in_workers, list(range(8)))
+        assert results == [i * i for i in range(8)]
+        assert len(fallbacks) == 1
+
+    def test_retried_results_bitwise_identical(self, tmp_path):
+        """A retried task re-pickles its parent-side RNG, so the retry
+        reproduces the first-try draw exactly."""
+        sentinel = str(tmp_path / "crashed-once")
+        rngs = [np.random.default_rng(s) for s in (7, 8, 9, 10)]
+        tasks = [(rng, sentinel if i == 1 else None) for i, rng in enumerate(rngs)]
+        with ProcessPoolBackend(workers=2, task_retries=2) as backend:
+            parallel = backend.map_tasks(draw_maybe_crash, tasks)
+        serial = SerialBackend().map_tasks(
+            draw, [np.random.default_rng(s) for s in (7, 8, 9, 10)]
+        )
+        assert parallel == serial
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=2, task_retries=-1)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=2, pool_restarts=-1)
 
 
 class TestResolveBackend:
