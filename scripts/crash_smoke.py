@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI crash-smoke: SIGKILL a journaled campaign, resume, diff.
+
+End-to-end proof of the crash-safety story across real process
+boundaries (not a truncated-file simulation):
+
+1. run an uninterrupted journaled collection campaign -> reference
+   dataset,
+2. spawn the identical campaign as a subprocess and ``SIGKILL -9`` it
+   once its journal shows mid-campaign progress,
+3. ``repro resume`` from the surviving journal,
+4. require the resumed dataset to be byte-identical to the reference
+   and ``repro verify-artifact`` to pass on it.
+
+    PYTHONPATH=src python scripts/crash_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+ENV = {**os.environ, "PYTHONPATH": str(REPO / "src")}
+
+COLLECT_ARGS = [
+    "--workloads", "4",
+    "--configurations", "4",
+    "--faulty", "1",
+    "--seed", "17",
+    # Long simulated runs make each sample slow enough (in wall-clock)
+    # that the kill reliably lands mid-campaign.
+    "--run-seconds", "4000",
+    "--quiet",
+]
+TOTAL_SAMPLES = 4 * 4
+KILL_AFTER_SAMPLES = 4
+KILL_DEADLINE_S = 300.0
+
+
+def repro(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        env=ENV, cwd=REPO, capture_output=True, text=True,
+    )
+
+
+def journal_samples(journal: pathlib.Path) -> int:
+    if not journal.exists():
+        return 0
+    return max(0, journal.read_text().count("\n") - 1)  # minus header
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="crash-smoke-"))
+    reference = workdir / "reference.json"
+    resumed = workdir / "resumed.json"
+    journal = workdir / "campaign.wal"
+
+    print(f"[1/4] uninterrupted reference campaign ({TOTAL_SAMPLES} samples)")
+    proc = repro(
+        "collect", "--out", str(reference),
+        "--journal", str(workdir / "reference.wal"), *COLLECT_ARGS,
+    )
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        print("FAIL: reference campaign errored", file=sys.stderr)
+        return 1
+
+    print(f"[2/4] SIGKILL a live campaign after >={KILL_AFTER_SAMPLES} samples")
+    victim = subprocess.Popen(
+        [sys.executable, "-m", "repro", "collect",
+         "--out", str(workdir / "never-written.json"),
+         "--journal", str(journal), *COLLECT_ARGS],
+        env=ENV, cwd=REPO,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + KILL_DEADLINE_S
+    while time.monotonic() < deadline:
+        if journal_samples(journal) >= KILL_AFTER_SAMPLES:
+            break
+        if victim.poll() is not None:
+            print("FAIL: campaign finished before the kill landed "
+                  f"({journal_samples(journal)} samples)", file=sys.stderr)
+            return 1
+        time.sleep(0.02)
+    victim.send_signal(signal.SIGKILL)
+    victim.wait()
+    killed_at = journal_samples(journal)
+    if not (KILL_AFTER_SAMPLES <= killed_at < TOTAL_SAMPLES):
+        print(f"FAIL: kill landed at {killed_at}/{TOTAL_SAMPLES} samples — "
+              "not mid-campaign", file=sys.stderr)
+        return 1
+    print(f"      killed with {killed_at}/{TOTAL_SAMPLES} durable samples")
+
+    print("[3/4] resume from the surviving journal")
+    proc = repro("resume", "--journal", str(journal), "--out", str(resumed),
+                 "--quiet")
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        print("FAIL: resume errored", file=sys.stderr)
+        return 1
+
+    print("[4/4] diff resumed dataset against the reference")
+    if resumed.read_bytes() != reference.read_bytes():
+        print("FAIL: resumed dataset differs from uninterrupted reference",
+              file=sys.stderr)
+        return 1
+    proc = repro("verify-artifact", str(resumed))
+    if proc.returncode != 0:
+        print(proc.stderr, file=sys.stderr)
+        print("FAIL: resumed dataset failed verification", file=sys.stderr)
+        return 1
+
+    print("OK: kill -9 mid-campaign, resumed bit-identical dataset "
+          f"({TOTAL_SAMPLES - killed_at} samples re-run, not {TOTAL_SAMPLES})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,12 +36,13 @@ from repro.config import (
 from repro.datastore import CassandraLike, Cluster, EngineCluster, HashRing, ScyllaLike
 from repro.errors import (
     FaultError,
+    PersistenceError,
     ReproError,
     SearchError,
     TrainingError,
     TransientError,
 )
-from repro.faults import FaultInjector, FaultPlan
+from repro.faults import CrashPoint, FaultInjector, FaultPlan
 from repro.bench import (
     BenchmarkResult,
     DataCollectionCampaign,
@@ -123,6 +124,7 @@ __all__ = [
     # fault injection
     "FaultPlan",
     "FaultInjector",
+    "CrashPoint",
     # decision policies
     "DecisionPolicy",
     "OraclePolicy",
@@ -135,6 +137,7 @@ __all__ = [
     "TrainingError",
     "FaultError",
     "TransientError",
+    "PersistenceError",
     # runtime
     "ExecutionBackend",
     "SerialBackend",

@@ -151,8 +151,8 @@ class PerformanceDataset:
 
     # -- persistence ----------------------------------------------------------------
 
-    def to_json(self) -> str:
-        """Serialize (workload RR/name, non-default config, AOPS) rows."""
+    def to_dict(self) -> Dict:
+        """JSON-ready payload: (workload RR/name, non-default config, AOPS) rows."""
         rows = [
             {
                 "read_ratio": s.workload.read_ratio,
@@ -162,16 +162,15 @@ class PerformanceDataset:
             }
             for s in self.samples
         ]
-        return json.dumps(
-            {"feature_parameters": list(self.feature_parameters), "samples": rows},
-            indent=2,
-        )
+        return {"feature_parameters": list(self.feature_parameters), "samples": rows}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
 
     @classmethod
-    def from_json(
-        cls, text: str, space: ConfigurationSpace, n_keys: int = 30_000_000
+    def from_dict(
+        cls, blob: Dict, space: ConfigurationSpace, n_keys: int = 30_000_000
     ) -> "PerformanceDataset":
-        blob = json.loads(text)
         samples = [
             PerformanceSample(
                 workload=WorkloadSpec(
@@ -183,3 +182,46 @@ class PerformanceDataset:
             for row in blob["samples"]
         ]
         return cls(samples, blob["feature_parameters"])
+
+    @classmethod
+    def from_json(
+        cls, text: str, space: ConfigurationSpace, n_keys: int = 30_000_000
+    ) -> "PerformanceDataset":
+        return cls.from_dict(json.loads(text), space, n_keys=n_keys)
+
+
+DATASET_KIND = "performance-dataset"
+
+
+def save_dataset(dataset: PerformanceDataset, path) -> None:
+    """Atomically write a dataset as a checksummed artifact.
+
+    The payload keys match :meth:`PerformanceDataset.to_json` — the file
+    is still a plain JSON document with top-level ``samples`` /
+    ``feature_parameters`` — plus the envelope header and CRC32 footer
+    from :mod:`repro.recovery.atomic`, so a kill mid-write can no longer
+    leave a truncated dataset.
+    """
+    from repro.recovery.atomic import write_artifact
+
+    write_artifact(path, dataset.to_dict(), kind=DATASET_KIND, indent=2)
+
+
+def load_dataset(
+    path, space: ConfigurationSpace, n_keys: int = 30_000_000, events=None
+) -> PerformanceDataset:
+    """Read a dataset artifact, rejecting corruption with PersistenceError.
+
+    Accepts legacy plain-JSON datasets (no checksum footer) written by
+    older builds or by hand; those still fail with
+    :class:`~repro.errors.PersistenceError` when truncated or
+    structurally damaged, but a bit-flip inside them is undetectable.
+    """
+    from repro.errors import PersistenceError
+    from repro.recovery.atomic import read_artifact
+
+    blob = read_artifact(path, kind=DATASET_KIND, allow_legacy=True, events=events)
+    try:
+        return PerformanceDataset.from_dict(blob, space, n_keys=n_keys)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(f"corrupt dataset artifact {path}: {exc!r}") from exc

@@ -7,12 +7,21 @@ The offline/online split of the paper maps onto subcommands::
     python -m repro recommend --surrogate surrogate.json --read-ratio 0.9
     python -m repro replay    --surrogate surrogate.json --hours 24
     python -m repro characterize --hours 24
+    python -m repro resume    --journal campaign.wal --out dataset.json
+    python -m repro verify-artifact dataset.json
 
 ``collect`` and ``train`` produce portable JSON artifacts; ``recommend``
 is the online call a datastore operator (or agent) makes when the
 workload shifts.  ``collect`` and ``train`` accept ``--workers N`` to
 run the campaign / ensemble training on a process pool with
 bitwise-identical results.
+
+Artifacts are written atomically with CRC32 checksums, and the long
+offline stages are crash-safe: ``collect --journal`` appends each
+sample to a write-ahead log, ``resume`` finishes a killed campaign from
+that log (bit-identical to an uninterrupted run), ``train
+--checkpoint-dir`` checkpoints each ensemble member, and
+``verify-artifact`` checks any artifact or journal without loading it.
 """
 
 from __future__ import annotations
@@ -20,10 +29,12 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
-from repro.bench.collection import DataCollectionCampaign
-from repro.bench.dataset import PerformanceDataset
+from repro.bench.collection import CAMPAIGN_JOURNAL_KIND, DataCollectionCampaign
+from repro.bench.dataset import load_dataset, save_dataset
+from repro.bench.ycsb import YCSBBenchmark
 from repro.config import CASSANDRA_KEY_PARAMETERS, SCYLLA_KEY_PARAMETERS
 from repro.core.controller import OnlineController
 from repro.core.persistence import load_surrogate, save_surrogate
@@ -31,6 +42,7 @@ from repro.core.policies import HysteresisPolicy, make_policy
 from repro.core.rafiki import Rafiki
 from repro.core.surrogate import SurrogateModel
 from repro.datastore import CassandraLike, ScyllaLike
+from repro.errors import PersistenceError
 from repro.faults import FaultPlan
 from repro.ml.ensemble import EnsembleConfig
 from repro.runtime import EventBus, resolve_backend
@@ -46,6 +58,10 @@ def _make_datastore(name: str):
     if name == "scylladb":
         return ScyllaLike(), SCYLLA_KEY_PARAMETERS
     raise SystemExit(f"unknown datastore {name!r} (cassandra | scylladb)")
+
+
+def _subscribe_recovery(events: EventBus) -> None:
+    events.subscribe(lambda e: print(f"   {e}"), topic="recovery")
 
 
 # ------------------------------------------------------------------ subcommands
@@ -64,6 +80,12 @@ def cmd_collect(args) -> int:
             ),
             topic="collect.sample",
         )
+        _subscribe_recovery(events)
+    benchmark = (
+        YCSBBenchmark(datastore, run_seconds=args.run_seconds)
+        if args.run_seconds is not None
+        else None
+    )
     with backend:
         campaign = DataCollectionCampaign(
             datastore,
@@ -72,34 +94,143 @@ def cmd_collect(args) -> int:
             n_workloads=args.workloads,
             n_configurations=args.configurations,
             n_faulty=args.faulty,
+            benchmark=benchmark,
             seed=args.seed,
             backend=backend,
             events=events,
+            journal=args.journal,
         )
         dataset = campaign.run()
     if not args.quiet:
         print()
-    with open(args.out, "w") as fh:
-        fh.write(dataset.to_json())
+    save_dataset(dataset, args.out)
     print(f"wrote {len(dataset)} samples to {args.out}")
+    return 0
+
+
+def cmd_resume(args) -> int:
+    """Finish a killed ``collect`` campaign from its journal.
+
+    The journal header is the campaign fingerprint; everything needed to
+    rebuild the grid (datastore, seed, shape, fault plan) is read from
+    it, journaled samples are skipped, and the remaining grid points run
+    — the resulting dataset is bit-identical to an uninterrupted
+    campaign's.
+    """
+    from repro.recovery.journal import read_journal
+
+    header, records = read_journal(args.journal, kind=CAMPAIGN_JOURNAL_KIND)
+    space_name = str(header["space"])
+    datastore, _ = _make_datastore(space_name.split("-")[0])
+    base_workload = replace(
+        mgrast_workload(float(header["base_read_ratio"])),
+        n_keys=int(header["base_n_keys"]),
+    )
+    fault_plan = (
+        FaultPlan.from_dict(header["fault_plan"])
+        if header.get("fault_plan") is not None
+        else None
+    )
+    events = EventBus()
+    if not args.quiet:
+        events.subscribe(
+            lambda e: print(
+                f"\r   sample {e.payload['done']}/{e.payload['total']}",
+                end="",
+                flush=True,
+            ),
+            topic="collect.sample",
+        )
+        _subscribe_recovery(events)
+    backend = resolve_backend(workers=args.workers)
+    with backend:
+        campaign = DataCollectionCampaign(
+            datastore,
+            base_workload,
+            key_parameters=header["key_parameters"],
+            n_workloads=int(header["n_workloads"]),
+            n_configurations=int(header["n_configurations"]),
+            n_faulty=int(header["n_faulty"]),
+            benchmark=YCSBBenchmark(
+                datastore, run_seconds=float(header["run_seconds"])
+            ),
+            seed=int(header["seed"]),
+            backend=backend,
+            events=events,
+            retry_faulty=int(header["retry_faulty"]),
+            fault_plan=fault_plan,
+            journal=args.journal,
+        )
+        dataset = campaign.run()
+    if not args.quiet:
+        print()
+    save_dataset(dataset, args.out)
+    print(
+        f"resumed from {len(records)} journaled samples; "
+        f"wrote {len(dataset)} samples to {args.out}"
+    )
     return 0
 
 
 def cmd_train(args) -> int:
     datastore, _ = _make_datastore(args.datastore)
-    with open(args.dataset) as fh:
-        dataset = PerformanceDataset.from_json(fh.read(), datastore.space)
+    events = EventBus()
+    if not args.quiet:
+        _subscribe_recovery(events)
+    dataset = load_dataset(args.dataset, datastore.space, events=events)
     with resolve_backend(workers=args.workers) as backend:
         surrogate = SurrogateModel(
             datastore.space,
             dataset.feature_parameters,
             EnsembleConfig(n_networks=args.networks),
-        ).fit(dataset, seed=args.seed, backend=backend)
+        ).fit(
+            dataset,
+            seed=args.seed,
+            backend=backend,
+            checkpoint_dir=args.checkpoint_dir,
+            events=events,
+        )
     save_surrogate(surrogate, args.out)
     print(
         f"trained on {len(dataset)} samples "
         f"({surrogate.ensemble.active_count} nets kept); wrote {args.out}"
     )
+    return 0
+
+
+def cmd_verify_artifact(args) -> int:
+    """Check a checksummed artifact or journal; exit 1 if untrustworthy."""
+    from repro.recovery.atomic import verify_artifact
+    from repro.recovery.journal import read_journal
+
+    path = args.path
+    try:
+        with open(path) as fh:
+            first_line = fh.readline()
+        try:
+            is_journal = "journal" in json.loads(first_line)
+        except (json.JSONDecodeError, TypeError):
+            is_journal = False
+        if is_journal:
+            header, records = read_journal(path)
+            head = json.loads(first_line)
+            summary = {
+                "path": str(path),
+                "kind": "journal",
+                "journal": head.get("journal"),
+                "format_version": head.get("format_version"),
+                "records": len(records),
+                "header_keys": sorted(header),
+            }
+        else:
+            summary = verify_artifact(path)
+    except OSError as exc:
+        print(f"UNREADABLE: {exc}", file=sys.stderr)
+        return 1
+    except PersistenceError as exc:
+        print(f"CORRUPT: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(summary, indent=2, default=str))
     return 0
 
 
@@ -226,8 +357,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workloads", type=int, default=11)
     p.add_argument("--configurations", type=int, default=20)
     p.add_argument("--faulty", type=int, default=20)
+    p.add_argument(
+        "--run-seconds",
+        type=float,
+        default=None,
+        help="simulated benchmark duration per sample (default: paper's 300s)",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="append-only WAL path; a killed campaign resumes from it "
+        "(see the 'resume' subcommand)",
+    )
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_collect)
+
+    p = sub.add_parser(
+        "resume", help="finish a killed collect campaign from its journal"
+    )
+    add_workers(p)
+    p.add_argument("--journal", required=True, help="the campaign's WAL path")
+    p.add_argument("--out", required=True, help="dataset JSON path")
+    p.add_argument("--quiet", action="store_true")
+    p.set_defaults(func=cmd_resume)
 
     p = sub.add_parser("train", help="train the surrogate on a dataset")
     add_common(p)
@@ -235,7 +387,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--dataset", required=True)
     p.add_argument("--out", required=True, help="surrogate JSON path")
     p.add_argument("--networks", type=int, default=20)
+    p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        dest="checkpoint_dir",
+        help="checkpoint each trained ensemble member here; a restarted "
+        "train skips finished members",
+    )
+    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser(
+        "verify-artifact",
+        help="verify a checksummed artifact or journal without loading it",
+    )
+    p.add_argument("path", help="artifact or journal path")
+    p.set_defaults(func=cmd_verify_artifact)
 
     p = sub.add_parser("recommend", help="search for a configuration")
     add_common(p)

@@ -9,11 +9,18 @@ JSON document, and restore it against a configuration space.
 JSON keeps the artifact human-inspectable and dependency-free; the
 weight payload for a paper-sized ensemble (14 nets x 163 weights) is a
 few hundred kilobytes.
+
+Files are written through :mod:`repro.recovery.atomic` — temp file +
+fsync + rename with a CRC32 footer — so a kill mid-save leaves the old
+artifact intact, and :func:`load_surrogate` rejects truncated or
+bit-flipped files with :class:`~repro.errors.PersistenceError` instead
+of leaking ``JSONDecodeError``/``KeyError``.  Pre-checksum files written
+by older builds still load (their corruption is undetectable beyond JSON
+validity).
 """
 
 from __future__ import annotations
 
-import json
 import pathlib
 from typing import Dict, Union
 
@@ -21,12 +28,15 @@ import numpy as np
 
 from repro.config.space import ConfigurationSpace
 from repro.core.surrogate import SurrogateModel
-from repro.errors import TrainingError
+from repro.errors import PersistenceError, TrainingError
 from repro.ml.ensemble import EnsembleConfig
 from repro.ml.network import FeedForwardNetwork
 from repro.ml.scaler import StandardScaler
+from repro.recovery.atomic import read_artifact, write_artifact
 
 FORMAT_VERSION = 1
+
+SURROGATE_KIND = "surrogate"
 
 
 def _scaler_to_dict(scaler: StandardScaler) -> Dict:
@@ -107,16 +117,29 @@ def surrogate_from_dict(blob: Dict, space: ConfigurationSpace) -> SurrogateModel
 
 
 def save_surrogate(surrogate: SurrogateModel, path: Union[str, pathlib.Path]) -> None:
-    """Write a fitted surrogate to ``path`` as JSON."""
-    path = pathlib.Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w") as fh:
-        json.dump(surrogate_to_dict(surrogate), fh)
+    """Atomically write a fitted surrogate to ``path`` as checksummed JSON."""
+    payload = surrogate_to_dict(surrogate)
+    write_artifact(path, payload, kind=SURROGATE_KIND, version=FORMAT_VERSION)
 
 
 def load_surrogate(
-    path: Union[str, pathlib.Path], space: ConfigurationSpace
+    path: Union[str, pathlib.Path],
+    space: ConfigurationSpace,
+    events=None,
 ) -> SurrogateModel:
-    """Read a surrogate written by :func:`save_surrogate`."""
-    with open(path) as fh:
-        return surrogate_from_dict(json.load(fh), space)
+    """Read a surrogate written by :func:`save_surrogate`.
+
+    Raises :class:`PersistenceError` for missing, truncated, or corrupt
+    files — including structurally damaged payloads that parse as JSON
+    but no longer describe a surrogate.  ``events`` (an EventBus)
+    receives ``recovery.corrupt_artifact`` before a corruption raise.
+    """
+    blob = read_artifact(path, kind=SURROGATE_KIND, allow_legacy=True, events=events)
+    try:
+        return surrogate_from_dict(blob, space)
+    except TrainingError:
+        raise  # semantic mismatch (version, feature schema), not corruption
+    except (KeyError, TypeError, ValueError) as exc:
+        raise PersistenceError(
+            f"corrupt surrogate artifact {path}: {exc!r}"
+        ) from exc

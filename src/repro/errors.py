@@ -36,6 +36,16 @@ class TrainingError(ReproError):
     """Model training could not proceed (bad shapes, empty data, ...)."""
 
 
+class PersistenceError(ReproError):
+    """An on-disk artifact is missing, truncated, or corrupt.
+
+    Raised by every loader of external state (surrogate files, dataset
+    artifacts, campaign journals, training checkpoints, SSTable scrubs)
+    so callers never see raw ``JSONDecodeError``/``KeyError`` from a
+    torn or bit-flipped file.
+    """
+
+
 class SearchError(ReproError):
     """Configuration search was invoked with an unusable setup."""
 

@@ -13,6 +13,7 @@ pipeline is bit-identical to a fault-free build.
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
     BenchFault,
+    CrashPoint,
     DiskSlowdown,
     FaultPlan,
     NodeCrash,
@@ -21,6 +22,7 @@ from repro.faults.plan import (
 
 __all__ = [
     "BenchFault",
+    "CrashPoint",
     "DiskSlowdown",
     "FaultInjector",
     "FaultPlan",

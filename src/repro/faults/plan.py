@@ -81,6 +81,26 @@ class TransientFault:
 
 
 @dataclass(frozen=True)
+class CrashPoint:
+    """A process kill striking an LSM engine after ``op`` operations.
+
+    The crash drops all volatile engine state (memtable, caches,
+    in-flight background work); durable state (commitlog, SSTables)
+    survives and :meth:`~repro.lsm.engine.LSMEngine.recover` rebuilds
+    from it.  Addressed by zero-based operation index: the crash strikes
+    *before* the op at ``op`` executes.  Crash points are authored (or
+    drawn by tests), not produced by :meth:`FaultPlan.generate` — they
+    target the storage engine, not the online loop.
+    """
+
+    op: int
+
+    def validate(self) -> None:
+        if self.op < 0:
+            raise FaultError(f"crash point op index must be >= 0, got {self.op}")
+
+
+@dataclass(frozen=True)
 class BenchFault:
     """A load-generating client fault on one campaign grid point.
 
@@ -110,6 +130,7 @@ class FaultPlan:
     disk_slowdowns: Tuple[DiskSlowdown, ...] = ()
     transient_faults: Tuple[TransientFault, ...] = ()
     bench_faults: Tuple[BenchFault, ...] = field(default_factory=tuple)
+    crash_points: Tuple[CrashPoint, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         # Tolerate lists in hand-written plans.
@@ -117,6 +138,7 @@ class FaultPlan:
         object.__setattr__(self, "disk_slowdowns", tuple(self.disk_slowdowns))
         object.__setattr__(self, "transient_faults", tuple(self.transient_faults))
         object.__setattr__(self, "bench_faults", tuple(self.bench_faults))
+        object.__setattr__(self, "crash_points", tuple(self.crash_points))
 
     def validate(self, n_nodes: Optional[int] = None) -> None:
         """Check schedule sanity; with ``n_nodes``, also node ranges."""
@@ -125,6 +147,7 @@ class FaultPlan:
             *self.disk_slowdowns,
             *self.transient_faults,
             *self.bench_faults,
+            *self.crash_points,
         ):
             item.validate()
         if n_nodes is not None:
@@ -142,6 +165,7 @@ class FaultPlan:
             or self.disk_slowdowns
             or self.transient_faults
             or self.bench_faults
+            or self.crash_points
         )
 
     @property
@@ -234,6 +258,7 @@ class FaultPlan:
             "disk_slowdowns": [asdict(s) for s in self.disk_slowdowns],
             "transient_faults": [asdict(t) for t in self.transient_faults],
             "bench_faults": [asdict(b) for b in self.bench_faults],
+            "crash_points": [asdict(p) for p in self.crash_points],
         }
 
     def to_json(self) -> str:
@@ -254,6 +279,9 @@ class FaultPlan:
                 ),
                 bench_faults=tuple(
                     BenchFault(**b) for b in payload.get("bench_faults", [])
+                ),
+                crash_points=tuple(
+                    CrashPoint(**p) for p in payload.get("crash_points", [])
                 ),
             )
         except TypeError as exc:

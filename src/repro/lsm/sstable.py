@@ -8,6 +8,8 @@ merges several into new ones and discards the inputs (paper §2.2.1).
 from __future__ import annotations
 
 import bisect
+import struct
+import zlib
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.lsm.bloom import BloomFilter
@@ -16,6 +18,27 @@ from repro.lsm.record import Record
 #: Logical block size used for cache accounting (Cassandra reads 64k
 #: buffered chunks through its file cache).
 BLOCK_BYTES = 64 * 1024
+
+
+def checksum_records(records: Sequence[Record]) -> int:
+    """CRC32 over a record run's full content (keys, timestamps, values).
+
+    The analogue of Cassandra's per-SSTable digest file: computed when a
+    table is built, recomputed by a recovery scrub to detect at-rest
+    corruption before a read can return damaged data.  Timestamps are
+    hashed as raw IEEE-754 bytes so the checksum is exact, not
+    repr-dependent.
+    """
+    crc = 0
+    for rec in records:
+        crc = zlib.crc32(rec.key.encode("utf-8"), crc)
+        crc = zlib.crc32(struct.pack("<d", rec.timestamp), crc)
+        if rec.value is None:
+            crc = zlib.crc32(b"\x01", crc)  # tombstone marker
+        else:
+            crc = zlib.crc32(b"\x00", crc)
+            crc = zlib.crc32(rec.value, crc)
+    return crc & 0xFFFFFFFF
 
 
 class SSTable:
@@ -33,6 +56,7 @@ class SSTable:
         "bloom",
         "size_bytes",
         "created_at",
+        "checksum",
     )
 
     def __init__(
@@ -55,6 +79,7 @@ class SSTable:
         self.bloom = BloomFilter.from_keys(keys, fp_chance)
         self.size_bytes = sum(r.size_bytes for r in records)
         self.created_at = created_at
+        self.checksum = checksum_records(self._records)
 
     # -- metadata --------------------------------------------------------------
 
@@ -85,6 +110,10 @@ class SSTable:
         return self.min_key <= max_key and min_key <= self.max_key
 
     # -- reads ---------------------------------------------------------------
+
+    def verify(self) -> bool:
+        """Recompute the content checksum (a recovery scrub's read pass)."""
+        return checksum_records(self._records) == self.checksum
 
     def might_contain(self, key: str) -> bool:
         """Bloom-filter membership test (false positives possible)."""

@@ -16,7 +16,7 @@ trainer is provided as a cheaper fallback for large datasets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional
 
 import numpy as np
@@ -39,6 +39,17 @@ class TrainingResult:
     beta: float
     effective_parameters: float
     converged: bool
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (checkpoint payloads); floats round-trip exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, blob: dict) -> "TrainingResult":
+        try:
+            return cls(**blob)
+        except TypeError as exc:
+            raise TrainingError(f"malformed training result: {exc}") from exc
 
 
 def _check_data(x: np.ndarray, y: np.ndarray) -> tuple:

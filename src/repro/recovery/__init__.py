@@ -1,0 +1,67 @@
+"""Crash-safe persistence and resumable offline pipelines.
+
+The offline phase is the expensive part of Rafiki — hundreds of
+five-minute benchmark campaigns plus an ensemble of trained networks —
+and this package is what lets a process kill cost seconds instead of
+hours:
+
+* :mod:`repro.recovery.atomic` — every artifact (surrogate, dataset,
+  checkpoint) is written temp-file + fsync + rename with a CRC32
+  footer, and every load rejects corruption with
+  :class:`~repro.errors.PersistenceError`.
+* :mod:`repro.recovery.journal` — the collection campaign's append-only
+  JSONL WAL; a killed campaign resumes from the last durable sample and
+  produces a bit-identical dataset.
+* :mod:`repro.recovery.checkpoint` — per-member training checkpoints;
+  a restarted ensemble fit skips already-trained networks and yields
+  bitwise-identical weights.
+* :mod:`repro.recovery.crashsim` — kills an LSM engine at scheduled
+  :class:`~repro.faults.plan.CrashPoint`\\ s and rebuilds it through
+  commitlog replay + SSTable checksum scrub.
+
+Recovery actions are observable on the EventBus: ``recovery.resumed``
+(work skipped because durable state covered it),
+``recovery.journal_replayed`` (a WAL was re-applied), and
+``recovery.corrupt_artifact`` (a file failed verification).
+"""
+
+from repro.recovery.atomic import (
+    ARTIFACT_VERSION,
+    read_artifact,
+    verify_artifact,
+    write_artifact,
+    write_text_atomic,
+)
+from repro.recovery.checkpoint import (
+    load_member_checkpoint,
+    member_checkpoint_path,
+    save_member_checkpoint,
+    training_fingerprint,
+)
+from repro.recovery.crashsim import (
+    CrashSimReport,
+    generate_ops,
+    run_ops,
+    state_snapshot,
+    states_equivalent,
+)
+from repro.recovery.journal import Journal, read_journal
+
+__all__ = [
+    "ARTIFACT_VERSION",
+    "CrashSimReport",
+    "Journal",
+    "generate_ops",
+    "load_member_checkpoint",
+    "member_checkpoint_path",
+    "read_artifact",
+    "read_journal",
+    "run_ops",
+    "save_member_checkpoint",
+    "state_snapshot",
+    "states_equivalent",
+    "training_fingerprint",
+    "verify_artifact",
+    "write_artifact",
+    "write_text_atomic",
+]

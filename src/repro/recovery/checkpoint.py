@@ -1,0 +1,126 @@
+"""Per-member training checkpoints for resumable ensemble fits.
+
+The paper's offline phase trains 20 Bayesian-regularized networks; each
+member is minutes of LM iterations, and a kill near the end used to
+throw all of it away.  Because members train from pre-derived seeds on
+identical standardized data, each one is an independent, reproducible
+work unit — so a checkpoint is simply the member's trained weights plus
+its :class:`~repro.ml.train.TrainingResult`, keyed by everything that
+determines it: the member seed, the topology, and a fingerprint of the
+standardized training data and ensemble config.
+
+A restarted ``fit`` loads matching checkpoints (bitwise-identical
+weights, since floats round-trip exactly through JSON ``repr``), trains
+only the missing members, and lands on the same pruned ensemble as an
+uninterrupted run.  A corrupt or stale checkpoint is never trusted: it
+is reported (``recovery.corrupt_artifact``) and the member retrains.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import zlib
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PersistenceError, TrainingError
+from repro.ml.network import FeedForwardNetwork
+from repro.ml.train import TrainingResult
+from repro.recovery.atomic import read_artifact, write_artifact
+
+PathLike = Union[str, pathlib.Path]
+
+CHECKPOINT_KIND = "ensemble-member"
+
+
+def training_fingerprint(x: np.ndarray, y: np.ndarray, config_tag: str) -> int:
+    """CRC32 over the standardized training data and ensemble config.
+
+    Ties a checkpoint to the exact fit that produced it: resuming
+    against different data (or a different ensemble shape) must retrain
+    rather than splice in stale members.
+    """
+    crc = zlib.crc32(np.ascontiguousarray(x, dtype=float).tobytes())
+    crc = zlib.crc32(np.ascontiguousarray(y, dtype=float).tobytes(), crc)
+    crc = zlib.crc32(config_tag.encode("utf-8"), crc)
+    return crc & 0xFFFFFFFF
+
+
+def member_checkpoint_path(directory: PathLike, member: int) -> pathlib.Path:
+    return pathlib.Path(directory) / f"member-{member:04d}.json"
+
+
+def save_member_checkpoint(
+    directory: PathLike,
+    member: int,
+    seed: int,
+    fingerprint: int,
+    net: FeedForwardNetwork,
+    result: TrainingResult,
+) -> pathlib.Path:
+    """Atomically persist one trained member."""
+    path = member_checkpoint_path(directory, member)
+    write_artifact(
+        path,
+        {
+            "member": member,
+            "seed": seed,
+            "fingerprint": fingerprint,
+            "layer_sizes": list(net.layer_sizes),
+            "weights": net.get_weights().tolist(),
+            "result": result.to_dict(),
+        },
+        kind=CHECKPOINT_KIND,
+    )
+    return path
+
+
+def load_member_checkpoint(
+    directory: PathLike,
+    member: int,
+    seed: int,
+    layer_sizes: Tuple[int, ...],
+    fingerprint: int,
+    events=None,
+) -> Optional[Tuple[FeedForwardNetwork, TrainingResult]]:
+    """Load one member if a trustworthy checkpoint exists.
+
+    Returns ``None`` when the checkpoint is absent, corrupt (reported on
+    the bus and deleted from consideration — the member retrains), or
+    stale (seed/topology/data fingerprint mismatch: a different run's
+    leftovers, silently ignored).
+    """
+    path = member_checkpoint_path(directory, member)
+    if not path.exists():
+        return None
+    try:
+        body = read_artifact(path, kind=CHECKPOINT_KIND, events=events)
+        stored_seed = body["seed"]
+        stored_sizes = tuple(body["layer_sizes"])
+        stored_fp = body["fingerprint"]
+        weights = np.asarray(body["weights"], dtype=float)
+        result = TrainingResult.from_dict(body["result"])
+    except PersistenceError:
+        return None
+    except (KeyError, TypeError, ValueError, TrainingError):
+        if events is not None:
+            events.publish(
+                "recovery.corrupt_artifact",
+                f"malformed checkpoint {path}",
+                path=str(path),
+                reason="malformed payload",
+            )
+        return None
+    if (
+        stored_seed != seed
+        or stored_sizes != tuple(layer_sizes)
+        or stored_fp != fingerprint
+    ):
+        return None
+    net = FeedForwardNetwork(list(layer_sizes), rng=np.random.default_rng(0))
+    try:
+        net.set_weights(weights)
+    except Exception:
+        return None
+    return net, result

@@ -1,0 +1,215 @@
+"""Append-only JSONL journals (the campaign write-ahead log).
+
+A journal is one header line followed by one line per durable record::
+
+    {"journal": "collection-campaign", "format_version": 1, "header": {...}, "crc32": N}
+    {"data": {...}, "crc32": N}
+    {"data": {...}, "crc32": N}
+
+Each line carries a CRC32 of the canonical serialization of its content,
+and every append is flushed and fsynced before the caller proceeds — so
+after a kill the journal is a valid prefix of the run, except possibly a
+torn final line.  :meth:`Journal.open` detects that torn tail, truncates
+it away, and resumes appending; a corrupt line anywhere *else* means the
+file was damaged at rest and raises
+:class:`~repro.errors.PersistenceError` (the records after it cannot be
+trusted).
+
+The header is the run's fingerprint (campaign seed, grid shape, fault
+plan, ...).  Re-opening a journal with a different fingerprint refuses
+to resume rather than silently mixing two campaigns' samples.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import PersistenceError
+from repro.recovery.atomic import body_crc32, fsync_directory
+
+PathLike = Union[str, pathlib.Path]
+
+JOURNAL_VERSION = 1
+
+
+def _encode_line(content: Dict) -> str:
+    document = dict(content)
+    document["crc32"] = body_crc32(content)
+    return json.dumps(document, separators=(",", ":"), default=float) + "\n"
+
+
+def _decode_line(line: str) -> Dict:
+    """Parse + CRC-check one complete line; raises ValueError if bad."""
+    document = json.loads(line)
+    if not isinstance(document, dict) or "crc32" not in document:
+        raise ValueError("journal line missing crc32")
+    stored = document.pop("crc32")
+    if body_crc32(document) != stored:
+        raise ValueError("journal line checksum mismatch")
+    return document
+
+
+class Journal:
+    """One append-only, CRC-per-line journal file."""
+
+    def __init__(self, path: PathLike, kind: str, header: Dict):
+        self.path = pathlib.Path(path)
+        self.kind = kind
+        self.header = header
+        self._fh = None
+
+    # -- opening -------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls, path: PathLike, kind: str, header: Dict, events=None
+    ) -> Tuple["Journal", List[Dict]]:
+        """Create or resume a journal; returns ``(journal, records)``.
+
+        A fresh path gets the header written (fsynced) immediately.  An
+        existing file is validated — kind and fingerprint must match
+        ``header`` — its durable records are returned, and a torn final
+        line (the crash signature) is truncated away so appends continue
+        from the last durable record.
+        """
+        journal = cls(path, kind, header)
+        path = journal.path
+        if path.exists() and path.stat().st_size > 0:
+            records, keep_bytes, torn = journal._load(events=events)
+            mode = "r+"
+            with open(path, mode) as fh:
+                if torn:
+                    fh.truncate(keep_bytes)
+            journal._fh = open(path, "a")
+            return journal, records
+        path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = open(path, "w")
+        journal._fh.write(
+            _encode_line(
+                {
+                    "journal": kind,
+                    "format_version": JOURNAL_VERSION,
+                    "header": header,
+                }
+            )
+        )
+        journal._sync()
+        fsync_directory(path.parent)
+        return journal, []
+
+    def _load(self, events=None) -> Tuple[List[Dict], int, bool]:
+        """Read back ``(records, durable_byte_length, torn_tail)``."""
+
+        def corrupt(reason: str) -> PersistenceError:
+            if events is not None:
+                events.publish(
+                    "recovery.corrupt_artifact",
+                    f"corrupt journal {self.path}: {reason}",
+                    path=str(self.path),
+                    reason=reason,
+                )
+            return PersistenceError(f"corrupt journal {self.path}: {reason}")
+
+        raw = self.path.read_bytes().decode("utf-8", errors="replace")
+        lines = raw.split("\n")
+        # A well-formed file ends with "\n", so the final split entry is
+        # empty; anything else is a torn tail candidate.
+        complete, tail = lines[:-1], lines[-1]
+        if not complete:
+            raise corrupt("no header line")
+        try:
+            head = _decode_line(complete[0])
+        except ValueError as exc:
+            raise corrupt(f"bad header line: {exc}") from exc
+        if head.get("journal") != self.kind:
+            raise corrupt(
+                f"journal kind {head.get('journal')!r}, expected {self.kind!r}"
+            )
+        if head.get("format_version") != JOURNAL_VERSION:
+            raise corrupt(f"unsupported journal version {head.get('format_version')!r}")
+        if head.get("header") != _normalize(self.header):
+            raise PersistenceError(
+                f"journal {self.path} belongs to a different run: stored header "
+                f"{head.get('header')!r} != expected {_normalize(self.header)!r}"
+            )
+
+        records: List[Dict] = []
+        durable_bytes = len(complete[0].encode("utf-8")) + 1
+        torn = bool(tail)
+        for lineno, line in enumerate(complete[1:], start=2):
+            try:
+                document = _decode_line(line)
+            except ValueError as exc:
+                if lineno == len(complete):
+                    # Complete-looking but unverifiable final line: treat
+                    # as the torn tail of a crashed append.
+                    torn = True
+                    break
+                raise corrupt(f"bad record at line {lineno}: {exc}") from exc
+            if "data" not in document:
+                raise corrupt(f"record at line {lineno} has no data field")
+            records.append(document["data"])
+            durable_bytes += len(line.encode("utf-8")) + 1
+        return records, durable_bytes, torn
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, record: Dict) -> None:
+        """Durably append one record (flushed + fsynced before return)."""
+        if self._fh is None:
+            raise PersistenceError(f"journal {self.path} is not open")
+        self._fh.write(_encode_line({"data": record}))
+        self._sync()
+
+    def _sync(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: PathLike, kind: Optional[str] = None) -> Tuple[Dict, List[Dict]]:
+    """Read a journal without resuming it: ``(header, records)``.
+
+    Used by ``repro resume`` (to rebuild the campaign from the stored
+    fingerprint) and ``repro verify-artifact``.  Tolerates a torn tail;
+    raises :class:`PersistenceError` on anything worse.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise PersistenceError(f"journal not found: {path}")
+    probe = Journal(path, kind or "", {})
+    raw = path.read_bytes().decode("utf-8", errors="replace")
+    lines = raw.split("\n")
+    complete = lines[:-1]
+    if not complete:
+        raise PersistenceError(f"corrupt journal {path}: no header line")
+    try:
+        head = _decode_line(complete[0])
+    except ValueError as exc:
+        raise PersistenceError(f"corrupt journal {path}: bad header line: {exc}")
+    if kind is not None and head.get("journal") != kind:
+        raise PersistenceError(
+            f"corrupt journal {path}: kind {head.get('journal')!r}, expected {kind!r}"
+        )
+    probe.kind = head.get("journal")
+    probe.header = head.get("header", {})
+    records, _, _ = probe._load()
+    return head.get("header", {}), records
+
+
+def _normalize(obj):
+    """Round-trip through JSON so tuples/ints compare like stored values."""
+    return json.loads(json.dumps(obj, default=float))

@@ -8,6 +8,13 @@ records on dotted topics (``"collect.sample"``, ``"anova.parameter"``,
 ``"train.member"``, ``"pipeline.stage"``) and consumers subscribe to
 exact topics or topic prefixes.
 
+Crash-recovery actions publish under the ``recovery`` prefix (see
+:mod:`repro.recovery`): ``recovery.resumed`` when durable state let a
+restarted campaign or fit skip work, ``recovery.journal_replayed`` when
+a write-ahead log was re-applied (LSM commitlog replay), and
+``recovery.corrupt_artifact`` when a checksummed file failed
+verification.
+
 The bus is intentionally synchronous and in-process: it is a progress /
 observability channel, not a task queue (that is the execution
 backend's job, see :mod:`repro.runtime.backend`).

@@ -132,6 +132,93 @@ class TestCharacterize:
         assert payload["krd_mean_ops"] > 0
 
 
+class TestJournalAndResume:
+    COLLECT = [
+        "--workloads", "3",
+        "--configurations", "3",
+        "--faulty", "1",
+        "--seed", "6",
+        "--run-seconds", "30",
+        "--quiet",
+    ]
+
+    def test_resume_after_kill_is_bit_identical(self, tmp_path):
+        ref = tmp_path / "ref.json"
+        journal = tmp_path / "ref.wal"
+        assert main(["collect", "--out", str(ref), "--journal", str(journal),
+                     *self.COLLECT]) == 0
+
+        # Simulate a kill after 4 durable samples: truncate a copy of
+        # the WAL, then resume from it.
+        partial = tmp_path / "partial.wal"
+        lines = journal.read_text().splitlines(keepends=True)
+        partial.write_text("".join(lines[:5]))
+        out = tmp_path / "resumed.json"
+        assert main(["resume", "--journal", str(partial), "--out", str(out),
+                     "--quiet"]) == 0
+        assert out.read_bytes() == ref.read_bytes()
+
+    def test_collect_without_journal_matches_journaled(self, tmp_path):
+        plain = tmp_path / "plain.json"
+        journaled = tmp_path / "journaled.json"
+        assert main(["collect", "--out", str(plain), *self.COLLECT]) == 0
+        assert main(["collect", "--out", str(journaled),
+                     "--journal", str(tmp_path / "j.wal"), *self.COLLECT]) == 0
+        assert plain.read_bytes() == journaled.read_bytes()
+
+
+class TestCheckpointedTrain:
+    def test_interrupted_train_resumes_identically(self, artifacts, tmp_path):
+        dataset, _ = artifacts
+        ref = tmp_path / "ref.json"
+        ckpt = tmp_path / "ckpt"
+        args = ["train", "--dataset", str(dataset), "--networks", "3",
+                "--seed", "3", "--quiet"]
+        assert main([*args, "--out", str(ref),
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        # Drop one member checkpoint (as if killed mid-train), retrain.
+        (ckpt / "member-0002.json").unlink()
+        out = tmp_path / "resumed.json"
+        assert main([*args, "--out", str(out),
+                     "--checkpoint-dir", str(ckpt)]) == 0
+        assert out.read_bytes() == ref.read_bytes()
+
+
+class TestVerifyArtifact:
+    def test_valid_dataset(self, artifacts, capsys):
+        dataset, _ = artifacts
+        assert main(["verify-artifact", str(dataset)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["artifact_kind"] == "performance-dataset"
+
+    def test_valid_surrogate(self, artifacts, capsys):
+        _, surrogate = artifacts
+        assert main(["verify-artifact", str(surrogate)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["artifact_kind"] == "surrogate"
+
+    def test_valid_journal(self, tmp_path, capsys):
+        journal = tmp_path / "j.wal"
+        assert main(["collect", "--out", str(tmp_path / "d.json"),
+                     "--journal", str(journal),
+                     *TestJournalAndResume.COLLECT]) == 0
+        capsys.readouterr()  # drop collect's own output
+        assert main(["verify-artifact", str(journal)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "journal"
+        assert payload["records"] == 9
+
+    def test_corrupt_artifact_exits_nonzero(self, artifacts, tmp_path, capsys):
+        dataset, _ = artifacts
+        bad = tmp_path / "bad.json"
+        bad.write_text(dataset.read_text().replace("0", "1", 1))
+        assert main(["verify-artifact", str(bad)]) == 1
+        assert "CORRUPT" in capsys.readouterr().err
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        assert main(["verify-artifact", str(tmp_path / "nope.json")]) == 1
+
+
 class TestValidation:
     def test_unknown_datastore(self, artifacts):
         _, surrogate = artifacts

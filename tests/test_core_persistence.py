@@ -119,3 +119,79 @@ class TestValidation:
         blob["networks"] = []
         with pytest.raises(TrainingError):
             surrogate_from_dict(blob, space)
+
+
+class TestCorruptArtifacts:
+    """load_surrogate raises PersistenceError, never raw parser errors."""
+
+    def test_missing_file(self, space, tmp_path):
+        from repro.errors import PersistenceError
+
+        with pytest.raises(PersistenceError):
+            load_surrogate(tmp_path / "nope.json", space)
+
+    def test_truncated_file(self, fitted, space, tmp_path):
+        from repro.errors import PersistenceError
+
+        path = tmp_path / "s.json"
+        save_surrogate(fitted, path)
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError):
+            load_surrogate(path, space)
+
+    def test_bit_flip_detected_by_checksum(self, fitted, space, tmp_path):
+        from repro.errors import PersistenceError
+
+        path = tmp_path / "s.json"
+        save_surrogate(fitted, path)
+        text = path.read_text()
+        path.write_text(text.replace('"n_networks": 3', '"n_networks": 4', 1))
+        with pytest.raises(PersistenceError, match="checksum"):
+            load_surrogate(path, space)
+
+    def test_structurally_damaged_payload(self, fitted, space, tmp_path):
+        from repro.errors import PersistenceError
+        from repro.recovery.atomic import write_artifact
+
+        path = tmp_path / "s.json"
+        blob = surrogate_to_dict(fitted)
+        del blob["x_scaler"]
+        write_artifact(path, blob, kind="surrogate", version=1)
+        with pytest.raises(PersistenceError):
+            load_surrogate(path, space)
+
+    def test_corruption_publishes_event(self, fitted, space, tmp_path):
+        from repro.errors import PersistenceError
+        from repro.runtime.events import EventBus
+
+        path = tmp_path / "s.json"
+        save_surrogate(fitted, path)
+        path.write_text(path.read_text()[:-8])
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.corrupt_artifact")
+        with pytest.raises(PersistenceError):
+            load_surrogate(path, space, events=bus)
+        assert len(seen) == 1
+
+    def test_legacy_plain_json_still_loads(self, fitted, space, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(surrogate_to_dict(fitted)))
+        restored = load_surrogate(path, space)
+        cfg = space.default_configuration()
+        assert restored.predict(0.5, cfg) == pytest.approx(fitted.predict(0.5, cfg))
+
+    def test_semantic_mismatch_stays_training_error(self, fitted, space, tmp_path):
+        # An *intact* artifact whose stored features exceed the caller's
+        # space is a schema problem (TrainingError), not file corruption.
+        from repro.config.parameter import FloatParameter
+        from repro.config.space import ConfigurationSpace
+
+        path = tmp_path / "s.json"
+        save_surrogate(fitted, path)
+        tiny = ConfigurationSpace(
+            "tiny", [FloatParameter(name="x", default=0.5, low=0.0, high=1.0)]
+        )
+        with pytest.raises(TrainingError):
+            load_surrogate(path, tiny)

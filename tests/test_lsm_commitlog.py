@@ -49,3 +49,78 @@ class TestCommitLog:
             CommitLog(segment_size_bytes=0, sync_period_s=1.0)
         with pytest.raises(ValueError):
             CommitLog(segment_size_bytes=100, sync_period_s=0.0)
+
+
+class TestSyncBaseline:
+    """The first append establishes the sync clock, never charges it."""
+
+    def test_first_append_past_period_is_not_charged(self):
+        # Regression: a first write at now >= period used to pay a sync
+        # barrier for an idle gap during which nothing existed to sync.
+        log = CommitLog(segment_size_bytes=10**9, sync_period_s=5.0)
+        assert log.append(rec(), now=100.0) == 0.0
+        assert log.total_syncs == 0
+
+    def test_period_measured_from_first_append(self):
+        log = CommitLog(segment_size_bytes=10**9, sync_period_s=5.0)
+        log.append(rec(), now=100.0)
+        assert log.append(rec(), now=104.0) == 0.0
+        assert log.append(rec(), now=105.0) == pytest.approx(SYNC_OVERHEAD_SECONDS)
+
+
+class TestSegmentBoundary:
+    def test_exact_boundary_seals_segment(self):
+        log = CommitLog(segment_size_bytes=rec().size_bytes, sync_period_s=1e9)
+        log.append(rec(), now=0.0)  # lands exactly on the boundary
+        assert log.sealed_segment_count == 1
+        assert log.active_segment_bytes == 0
+
+    def test_one_byte_under_boundary_stays_active(self):
+        log = CommitLog(segment_size_bytes=rec().size_bytes + 1, sync_period_s=1e9)
+        log.append(rec(), now=0.0)
+        assert log.sealed_segment_count == 0
+        assert log.active_segment_bytes == rec().size_bytes
+
+
+class TestReplayWindow:
+    def test_replay_returns_appended_records_in_order(self):
+        log = CommitLog(segment_size_bytes=10**9, sync_period_s=1e9)
+        records = [rec(key=f"k{i}") for i in range(5)]
+        for i, r in enumerate(records):
+            log.append(r, now=float(i))
+        assert list(log.replay()) == records
+        assert log.unflushed_record_count == 5
+
+    def test_replay_spans_sealed_segments(self):
+        # Records in sealed-but-undiscarded segments are still replayable.
+        log = CommitLog(segment_size_bytes=100, sync_period_s=1e9)
+        for i in range(4):
+            log.append(rec(key=f"k{i}"), now=0.0)  # each append seals
+        assert log.sealed_segment_count == 4
+        assert len(list(log.replay())) == 4
+
+    def test_empty_active_segment_replay_is_empty(self):
+        log = CommitLog(segment_size_bytes=10**9, sync_period_s=1e9)
+        assert list(log.replay()) == []
+
+    def test_discard_flushed_clears_replay_window(self):
+        log = CommitLog(segment_size_bytes=100, sync_period_s=1e9)
+        log.append(rec(size=60), now=0.0)
+        log.discard_flushed()
+        assert list(log.replay()) == []
+        assert log.unflushed_record_count == 0
+        assert log.unflushed_bytes == 0
+
+    def test_replay_window_restarts_after_discard(self):
+        log = CommitLog(segment_size_bytes=10**9, sync_period_s=1e9)
+        log.append(rec(key="old"), now=0.0)
+        log.discard_flushed()
+        log.append(rec(key="new"), now=1.0)
+        assert [r.key for r in log.replay()] == ["new"]
+
+    def test_replay_is_snapshot_not_view(self):
+        log = CommitLog(segment_size_bytes=10**9, sync_period_s=1e9)
+        log.append(rec(key="a"), now=0.0)
+        it = log.replay()
+        log.append(rec(key="b"), now=0.0)
+        assert [r.key for r in it] == ["a"]

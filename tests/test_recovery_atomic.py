@@ -1,0 +1,151 @@
+"""Atomic, checksummed artifact writes (repro.recovery.atomic)."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.recovery.atomic import (
+    ARTIFACT_VERSION,
+    read_artifact,
+    verify_artifact,
+    write_artifact,
+    write_text_atomic,
+)
+from repro.runtime.events import EventBus
+
+PAYLOAD = {"samples": [1, 2, 3], "feature_parameters": ["a", "b"]}
+
+
+class TestWriteRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        body = read_artifact(path, kind="dataset")
+        assert body["samples"] == [1, 2, 3]
+        assert body["artifact_kind"] == "dataset"
+        assert body["format_version"] == ARTIFACT_VERSION
+        assert "crc32" not in body
+
+    def test_file_is_plain_json_with_envelope(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset", indent=2)
+        blob = json.loads(path.read_text())
+        assert blob["samples"] == [1, 2, 3]
+        assert isinstance(blob["crc32"], int)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "a" / "b" / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        assert read_artifact(path)["samples"] == [1, 2, 3]
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        assert os.listdir(tmp_path) == ["x.json"]
+
+    def test_payload_may_not_redefine_envelope_keys(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            write_artifact(tmp_path / "x.json", {"crc32": 1}, kind="k")
+        with pytest.raises(PersistenceError):
+            write_artifact(tmp_path / "x.json", {"artifact_kind": "other"}, kind="k")
+
+    def test_payload_format_version_must_agree(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, {"format_version": 1, "v": 2}, kind="k", version=1)
+        assert read_artifact(path)["v"] == 2
+        with pytest.raises(PersistenceError):
+            write_artifact(path, {"format_version": 2}, kind="k", version=1)
+
+
+class TestCorruptionDetection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not found"):
+            read_artifact(tmp_path / "nope.json")
+
+    def test_truncated_file(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(PersistenceError, match="invalid JSON"):
+            read_artifact(path, kind="dataset")
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        path.write_text(path.read_text().replace("[1, 2, 3]", "[1, 2, 4]", 1))
+        with pytest.raises(PersistenceError, match="checksum mismatch"):
+            read_artifact(path, kind="dataset")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        with pytest.raises(PersistenceError, match="kind"):
+            read_artifact(path, kind="surrogate")
+
+    def test_non_object_root_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError):
+            read_artifact(path)
+
+    def test_corruption_publishes_event(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        path.write_text(path.read_text().replace("1", "7", 1))
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.corrupt_artifact")
+        with pytest.raises(PersistenceError):
+            read_artifact(path, events=bus)
+        assert len(seen) == 1
+        assert seen[0].payload["path"] == str(path)
+
+
+class TestLegacy:
+    def test_legacy_plain_json_accepted_when_allowed(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(PAYLOAD))
+        body = read_artifact(path, kind="dataset", allow_legacy=True)
+        assert body["samples"] == [1, 2, 3]
+
+    def test_legacy_rejected_by_default(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(json.dumps(PAYLOAD))
+        with pytest.raises(PersistenceError, match="crc32"):
+            read_artifact(path, kind="dataset")
+
+
+class TestVerifyArtifact:
+    def test_summary(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        summary = verify_artifact(path)
+        assert summary["artifact_kind"] == "dataset"
+        assert summary["format_version"] == ARTIFACT_VERSION
+        assert summary["keys"] == ["feature_parameters", "samples"]
+
+    def test_corrupt_raises(self, tmp_path):
+        path = tmp_path / "x.json"
+        write_artifact(path, PAYLOAD, kind="dataset")
+        path.write_text(path.read_text()[:-4])
+        with pytest.raises(PersistenceError):
+            verify_artifact(path)
+
+
+class TestWriteTextAtomic:
+    def test_overwrites_existing(self, tmp_path):
+        path = tmp_path / "f.txt"
+        write_text_atomic(path, "one")
+        write_text_atomic(path, "two")
+        assert path.read_text() == "two"
+
+    def test_failure_leaves_old_content(self, tmp_path):
+        path = tmp_path / "f.txt"
+        write_text_atomic(path, "old")
+        with pytest.raises(TypeError):
+            write_text_atomic(path, None)  # write fails before replace
+        assert path.read_text() == "old"
+        assert os.listdir(tmp_path) == ["f.txt"]

@@ -1,0 +1,176 @@
+"""Append-only JSONL journals (repro.recovery.journal)."""
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.recovery.journal import Journal, read_journal
+from repro.runtime.events import EventBus
+
+HEADER = {"seed": 3, "n_workloads": 4, "space": "cassandra-3.7"}
+
+
+def open_journal(path, header=None):
+    return Journal.open(path, "test-journal", header or HEADER)
+
+
+class TestAppendAndResume:
+    def test_fresh_journal_returns_no_records(self, tmp_path):
+        journal, records = open_journal(tmp_path / "j.wal")
+        assert records == []
+        journal.close()
+
+    def test_reopen_returns_appended_records(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0, "throughput": 123.5})
+        journal.append({"index": 1, "throughput": 99.25})
+        journal.close()
+        journal, records = open_journal(path)
+        journal.close()
+        assert records == [
+            {"index": 0, "throughput": 123.5},
+            {"index": 1, "throughput": 99.25},
+        ]
+
+    def test_appends_continue_after_reopen(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0})
+        journal.close()
+        journal, _ = open_journal(path)
+        journal.append({"index": 1})
+        journal.close()
+        _, records = read_journal(path, kind="test-journal")
+        assert [r["index"] for r in records] == [0, 1]
+
+    def test_floats_round_trip_exactly(self, tmp_path):
+        path = tmp_path / "j.wal"
+        value = 0.1 + 0.2  # not exactly representable in decimal
+        journal, _ = open_journal(path)
+        journal.append({"v": value})
+        journal.close()
+        _, records = read_journal(path)
+        assert records[0]["v"] == value
+
+    def test_append_on_closed_journal_raises(self, tmp_path):
+        journal, _ = open_journal(tmp_path / "j.wal")
+        journal.close()
+        with pytest.raises(PersistenceError):
+            journal.append({"index": 0})
+
+
+class TestTornTail:
+    def test_torn_final_line_is_truncated_away(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0})
+        journal.append({"index": 1})
+        journal.close()
+        text = path.read_text()
+        # Tear the last line mid-way, as a kill mid-append would.
+        lines = text.splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + lines[-1][: len(lines[-1]) // 2])
+        journal, records = open_journal(path)
+        assert [r["index"] for r in records] == [0]
+        journal.append({"index": 1})
+        journal.close()
+        _, records = read_journal(path)
+        assert [r["index"] for r in records] == [0, 1]
+
+    def test_complete_looking_but_corrupt_final_line_treated_as_torn(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0})
+        journal.append({"index": 1})
+        journal.close()
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]) + lines[-1].replace("1", "2", 1))
+        _, records = open_journal(path)
+        assert [r["index"] for r in records] == [0]
+
+
+class TestCorruption:
+    def test_middle_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0})
+        journal.append({"index": 1})
+        journal.close()
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = lines[1].replace("0", "9", 1)  # damage a non-final record
+        path.write_text("".join(lines))
+        with pytest.raises(PersistenceError, match="bad record"):
+            open_journal(path)
+
+    def test_bad_header_line_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text("not json\n")
+        with pytest.raises(PersistenceError, match="header"):
+            open_journal(path)
+
+    def test_corruption_publishes_event(self, tmp_path):
+        path = tmp_path / "j.wal"
+        path.write_text("not json\n")
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.corrupt_artifact")
+        with pytest.raises(PersistenceError):
+            Journal.open(path, "test-journal", HEADER, events=bus)
+        assert len(seen) == 1
+
+
+class TestHeaderFingerprint:
+    def test_different_header_refuses_to_resume(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.close()
+        with pytest.raises(PersistenceError, match="different run"):
+            open_journal(path, header={**HEADER, "seed": 4})
+
+    def test_wrong_kind_refuses(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.close()
+        with pytest.raises(PersistenceError):
+            Journal.open(path, "other-kind", HEADER)
+
+    def test_tuples_compare_like_stored_lists(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = Journal.open(path, "k", {"params": ("a", "b")})
+        journal.close()
+        journal, _ = Journal.open(path, "k", {"params": ["a", "b"]})
+        journal.close()
+
+
+class TestReadJournal:
+    def test_returns_header_and_records(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0})
+        journal.close()
+        header, records = read_journal(path, kind="test-journal")
+        assert header == HEADER
+        assert records == [{"index": 0}]
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not found"):
+            read_journal(tmp_path / "nope.wal")
+
+    def test_kind_mismatch_raises(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.close()
+        with pytest.raises(PersistenceError):
+            read_journal(path, kind="other")
+
+    def test_file_is_inspectable_jsonl(self, tmp_path):
+        path = tmp_path / "j.wal"
+        journal, _ = open_journal(path)
+        journal.append({"index": 0})
+        journal.close()
+        lines = path.read_text().splitlines()
+        head = json.loads(lines[0])
+        assert head["journal"] == "test-journal"
+        assert json.loads(lines[1])["data"] == {"index": 0}

@@ -1,0 +1,268 @@
+"""Kill-anywhere resume: campaigns and ensemble fits (Issue 4 tentpole).
+
+A "kill after k samples" is simulated by truncating a copy of the
+campaign journal to its first ``k`` records — exactly the durable state
+a SIGKILLed process leaves (the WAL fsyncs every append) — and resuming
+from the copy.  The property under test: the resumed artifact is
+*bit-identical* to the uninterrupted one, for every kill point.
+"""
+
+import shutil
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.collection import DataCollectionCampaign
+from repro.bench.dataset import load_dataset, save_dataset
+from repro.bench.ycsb import YCSBBenchmark
+from repro.config import CASSANDRA_KEY_PARAMETERS
+from repro.datastore import CassandraLike
+from repro.errors import PersistenceError
+from repro.faults.plan import BenchFault, FaultPlan
+from repro.ml.ensemble import EnsembleConfig, NetworkEnsemble
+from repro.recovery.checkpoint import member_checkpoint_path
+from repro.runtime.events import EventBus
+from repro.workload.spec import mgrast_workload
+
+PARAMS = list(CASSANDRA_KEY_PARAMETERS)
+N_WORKLOADS = 3
+N_CONFIGS = 3
+TOTAL = N_WORKLOADS * N_CONFIGS
+
+
+def make_campaign(journal=None, events=None, retry_faulty=0, fault_plan=None):
+    datastore = CassandraLike()
+    return DataCollectionCampaign(
+        datastore,
+        mgrast_workload(0.5),
+        key_parameters=PARAMS,
+        n_workloads=N_WORKLOADS,
+        n_configurations=N_CONFIGS,
+        n_faulty=1,
+        benchmark=YCSBBenchmark(datastore, run_seconds=30.0),
+        seed=11,
+        events=events,
+        retry_faulty=retry_faulty,
+        fault_plan=fault_plan,
+        journal=journal,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """One uninterrupted journaled campaign: (dataset_json, journal_path)."""
+    root = tmp_path_factory.mktemp("reference")
+    journal = root / "campaign.wal"
+    dataset = make_campaign(journal=journal).run()
+    return dataset.to_json(), journal
+
+
+def truncate_journal(src, dst, k):
+    """Copy ``src`` keeping the header and the first ``k`` records."""
+    lines = src.read_text().splitlines(keepends=True)
+    dst.write_text("".join(lines[: 1 + k]))
+
+
+class TestCampaignResume:
+    @settings(max_examples=6, deadline=None)
+    @given(k=st.integers(min_value=0, max_value=TOTAL - 1))
+    def test_kill_after_k_samples_resumes_bit_identical(
+        self, reference, tmp_path_factory, k
+    ):
+        ref_json, ref_journal = reference
+        root = tmp_path_factory.mktemp("kill")
+        partial = root / "campaign.wal"
+        truncate_journal(ref_journal, partial, k)
+        resumed = make_campaign(journal=partial).run()
+        assert resumed.to_json() == ref_json
+
+    def test_kill_mid_append_resumes_bit_identical(
+        self, reference, tmp_path
+    ):
+        ref_json, ref_journal = reference
+        partial = tmp_path / "campaign.wal"
+        lines = ref_journal.read_text().splitlines(keepends=True)
+        torn = lines[4][: len(lines[4]) // 2]  # record 4 torn mid-line
+        partial.write_text("".join(lines[:4]) + torn)
+        resumed = make_campaign(journal=partial).run()
+        assert resumed.to_json() == ref_json
+
+    def test_fully_journaled_campaign_runs_no_benchmarks(
+        self, reference, tmp_path
+    ):
+        ref_json, ref_journal = reference
+        complete = tmp_path / "campaign.wal"
+        shutil.copy(ref_journal, complete)
+        events = EventBus()
+        seen = []
+        events.subscribe(seen.append, topic="recovery.resumed")
+        campaign = make_campaign(journal=complete, events=events)
+        campaign.benchmark.run = None  # any benchmark call would raise
+        assert campaign.run().to_json() == ref_json
+        assert seen[0].payload["resumed"] == TOTAL
+
+    def test_resumed_event_reports_count(self, reference, tmp_path):
+        _, ref_journal = reference
+        partial = tmp_path / "campaign.wal"
+        truncate_journal(ref_journal, partial, 5)
+        events = EventBus()
+        seen = []
+        events.subscribe(seen.append, topic="recovery.resumed")
+        make_campaign(journal=partial, events=events).run()
+        assert seen[0].payload["resumed"] == 5
+        assert seen[0].payload["total"] == TOTAL
+
+    def test_journal_from_different_campaign_refused(self, reference, tmp_path):
+        _, ref_journal = reference
+        stolen = tmp_path / "campaign.wal"
+        shutil.copy(ref_journal, stolen)
+        campaign = make_campaign(journal=stolen)
+        campaign.seeds = type(campaign.seeds)(999)  # different root seed
+        with pytest.raises(PersistenceError, match="different run"):
+            campaign.run()
+
+    def test_dataset_artifact_round_trip(self, reference, tmp_path):
+        ref_json, ref_journal = reference
+        dataset = make_campaign(journal=None).run()
+        path = tmp_path / "dataset.json"
+        save_dataset(dataset, path)
+        restored = load_dataset(path, CassandraLike().space)
+        assert restored.to_json() == dataset.to_json() == ref_json
+
+
+class TestCampaignRetryResume:
+    def persistent_plan(self):
+        return FaultPlan(
+            bench_faults=(BenchFault(index=2, degradation=0.3, transient=False),)
+        )
+
+    def test_retry_attempts_resume_from_journal(self, tmp_path):
+        ref_journal = tmp_path / "ref.wal"
+        ref = make_campaign(
+            journal=ref_journal, retry_faulty=1, fault_plan=self.persistent_plan()
+        ).run_raw()
+        # Kill after the whole grid but before any retry landed: keep
+        # only the attempt-0 records.
+        lines = ref_journal.read_text().splitlines(keepends=True)
+        kept = [lines[0]] + [ln for ln in lines[1:] if '"attempt":0' in ln]
+        partial = tmp_path / "partial.wal"
+        partial.write_text("".join(kept))
+        resumed = make_campaign(
+            journal=partial, retry_faulty=1, fault_plan=self.persistent_plan()
+        ).run_raw()
+        assert [r.mean_throughput for r in resumed] == [
+            r.mean_throughput for r in ref
+        ]
+        assert [r.faulty for r in resumed] == [r.faulty for r in ref]
+
+
+class TestEnsembleResume:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(5)
+        x = rng.normal(size=(24, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + rng.normal(0, 0.1, size=24)
+        return x, y
+
+    @pytest.fixture(scope="class")
+    def config(self):
+        return EnsembleConfig(hidden_layers=(4,), n_networks=4, max_epochs=30)
+
+    @pytest.fixture(scope="class")
+    def reference_fit(self, data, config, tmp_path_factory):
+        x, y = data
+        ckpt = tmp_path_factory.mktemp("ckpt-ref")
+        ensemble = NetworkEnsemble(config).fit(x, y, seed=7, checkpoint_dir=ckpt)
+        return ensemble, ckpt
+
+    @settings(max_examples=4, deadline=None)
+    @given(m=st.integers(min_value=0, max_value=3))
+    def test_kill_after_m_members_resumes_bitwise_identical(
+        self, data, config, reference_fit, tmp_path_factory, m
+    ):
+        x, y = data
+        ref, ref_ckpt = reference_fit
+        ckpt = tmp_path_factory.mktemp("ckpt-kill")
+        for member in range(m):  # the m members finished before the kill
+            shutil.copy(
+                member_checkpoint_path(ref_ckpt, member),
+                member_checkpoint_path(ckpt, member),
+            )
+        resumed = NetworkEnsemble(config).fit(x, y, seed=7, checkpoint_dir=ckpt)
+        assert len(resumed.networks) == len(ref.networks)
+        for a, b in zip(resumed.networks, ref.networks):
+            assert np.array_equal(a.get_weights(), b.get_weights())
+        assert [r.train_mse for r in resumed.training_results] == [
+            r.train_mse for r in ref.training_results
+        ]
+
+    def test_resume_emits_event(self, data, config, reference_fit):
+        x, y = data
+        _, ref_ckpt = reference_fit
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.resumed")
+        NetworkEnsemble(config).fit(
+            x, y, seed=7, checkpoint_dir=ref_ckpt, events=bus
+        )
+        assert seen[0].payload["resumed"] == 4
+
+    def test_corrupt_checkpoint_is_reported_and_retrained(
+        self, data, config, reference_fit, tmp_path
+    ):
+        x, y = data
+        ref, ref_ckpt = reference_fit
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        for member in range(4):
+            shutil.copy(
+                member_checkpoint_path(ref_ckpt, member),
+                member_checkpoint_path(ckpt, member),
+            )
+        bad = member_checkpoint_path(ckpt, 1)
+        bad.write_text(bad.read_text()[:-20])
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.corrupt_artifact")
+        resumed = NetworkEnsemble(config).fit(
+            x, y, seed=7, checkpoint_dir=ckpt, events=bus
+        )
+        assert seen  # the damage was noticed, not silently trusted
+        for a, b in zip(resumed.networks, ref.networks):
+            assert np.array_equal(a.get_weights(), b.get_weights())
+
+    def test_rescaled_data_standardizes_identically_and_resumes(
+        self, data, config, reference_fit
+    ):
+        # Standardization makes x*2 the same training problem, so its
+        # fingerprint matches and the checkpoints are legitimately
+        # reusable — resuming here is correct, not a false positive.
+        x, y = data
+        _, ref_ckpt = reference_fit
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.resumed")
+        NetworkEnsemble(config).fit(
+            x * 2.0, y, seed=7, checkpoint_dir=ref_ckpt, events=bus
+        )
+        assert seen and seen[0].payload["resumed"] == 4
+
+    def test_stale_checkpoints_ignored_on_different_seed(
+        self, data, config, reference_fit, tmp_path
+    ):
+        x, y = data
+        _, ref_ckpt = reference_fit
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        for member in range(4):
+            shutil.copy(
+                member_checkpoint_path(ref_ckpt, member),
+                member_checkpoint_path(ckpt, member),
+            )
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, topic="recovery.resumed")
+        NetworkEnsemble(config).fit(x, y, seed=8, checkpoint_dir=ckpt, events=bus)
+        assert seen == []  # member seeds differ: nothing resumed
