@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Assert the repro import DAG: lower layers never import upward.
+
+The package is layered (see DESIGN.md, "Middleware service layer")::
+
+    sim / runtime / errors          rank 0   substrate + plumbing
+    config / faults                 rank 1   vocabulary
+    lsm                             rank 2   storage engine
+    workload / datastore            rank 3   load + servers
+    ml / ga / analysis              rank 4   learning + search
+    recovery                        rank 5   crash-safety
+    bench                           rank 6   offline campaign
+    core                            rank 7   Rafiki + legacy controller
+    middleware                      rank 8   multi-tenant service layer
+    cli / __main__ / package root   rank 9   entry points
+
+A *module-level* import may only target the same or a lower rank.
+Function-level (lazy) imports are the sanctioned escape hatch for
+deprecated shims — e.g. ``core.controller`` building its middleware
+session, or ``ml.ensemble`` reaching into ``recovery`` for checkpoints —
+because they defer the dependency to call time and cannot create an
+import cycle.  This script therefore scans only statements that execute
+at import time (module and class bodies; function bodies are skipped).
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/check_layering.py
+
+Exit status 0 = DAG holds; 1 = at least one upward import, each printed
+as ``file:line: <importer> (rank a) -> <target> (rank b)``.
+
+Pure stdlib (ast only) so the CI lint job needs no third-party deps.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: First path component under ``repro.`` -> layer rank.
+LAYERS = {
+    "errors": 0,
+    "sim": 0,
+    "runtime": 0,
+    "config": 1,
+    "faults": 1,
+    "lsm": 2,
+    "workload": 3,
+    "datastore": 3,
+    "ml": 4,
+    "ga": 4,
+    "analysis": 4,
+    "recovery": 5,
+    "bench": 6,
+    "core": 7,
+    "middleware": 8,
+    "cli": 9,
+    "__main__": 9,
+    "__init__": 9,  # the package root facade re-exports everything
+}
+
+
+def module_name(path: Path, src: Path) -> str:
+    rel = path.relative_to(src).with_suffix("")
+    parts = list(rel.parts)
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts)
+
+
+def layer_of(module: str):
+    """Rank of a ``repro...`` dotted module name, or None if foreign."""
+    parts = module.split(".")
+    if parts[0] != "repro":
+        return None
+    head = parts[1] if len(parts) > 1 else "__init__"
+    if head not in LAYERS:
+        raise SystemExit(
+            f"unknown subpackage 'repro.{head}' — add it to LAYERS in "
+            f"{__file__} (pick its rank deliberately)"
+        )
+    return LAYERS[head]
+
+
+def import_time_nodes(tree: ast.AST):
+    """Yield Import/ImportFrom nodes that execute at import time."""
+    stack = [tree]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # lazy imports inside functions are the escape hatch
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def imported_modules(node, importer: str):
+    """Dotted targets of one import node, relative imports resolved."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            yield alias.name
+        return
+    base = node.module or ""
+    if node.level:  # relative: resolve against the importer's package
+        pkg_parts = importer.split(".")
+        anchor = pkg_parts[: len(pkg_parts) - node.level + 1][:-1] or pkg_parts[:1]
+        base = ".".join(anchor + ([base] if base else []))
+    yield base
+
+
+def check(src: Path):
+    violations = []
+    for path in sorted(src.rglob("*.py")):
+        importer = module_name(path, src)
+        importer_rank = layer_of(importer if importer else "repro")
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in import_time_nodes(tree):
+            for target in imported_modules(node, importer):
+                target_rank = layer_of(target)
+                if target_rank is None:  # stdlib / third-party
+                    continue
+                if target_rank > importer_rank:
+                    violations.append(
+                        f"{path}:{node.lineno}: {importer} (rank "
+                        f"{importer_rank}) -> {target} (rank {target_rank})"
+                    )
+    return violations
+
+
+def main() -> int:
+    src = Path(__file__).resolve().parent.parent / "src"
+    if not (src / "repro").is_dir():
+        print(f"cannot find src/repro under {src}", file=sys.stderr)
+        return 1
+    violations = check(src)
+    if violations:
+        print(f"{len(violations)} upward import(s) break the layer DAG:")
+        for v in violations:
+            print(f"  {v}")
+        return 1
+    n_modules = sum(1 for _ in (src / "repro").rglob("*.py"))
+    print(f"layering OK: {n_modules} modules respect the import DAG")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

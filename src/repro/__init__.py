@@ -70,10 +70,18 @@ from repro.core import (
     rank_parameters,
     select_key_parameters,
 )
+from repro.middleware import (
+    MiddlewareScheduler,
+    SimulatedDatastoreAdapter,
+    TenantSession,
+    TenantSpec,
+    load_manifest,
+)
 from repro.runtime import (
     EventBus,
     ExecutionBackend,
     ProcessPoolBackend,
+    ScopedEventBus,
     SerialBackend,
 )
 from repro.workload import (
@@ -121,6 +129,12 @@ __all__ = [
     "rank_parameters",
     "select_key_parameters",
     "RecommendationCache",
+    # middleware service layer
+    "MiddlewareScheduler",
+    "TenantSession",
+    "TenantSpec",
+    "SimulatedDatastoreAdapter",
+    "load_manifest",
     # fault injection
     "FaultPlan",
     "FaultInjector",
@@ -143,6 +157,7 @@ __all__ = [
     "SerialBackend",
     "ProcessPoolBackend",
     "EventBus",
+    "ScopedEventBus",
     # workloads
     "WorkloadSpec",
     "mgrast_workload",

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.bench.metrics import BenchmarkResult, ThroughputSample
 from repro.config.space import Configuration
+from repro.datastore.adapter import SimulatedDatastoreAdapter
 from repro.datastore.base import Datastore
 from repro.sim.rng import SeedLike, derive_rng
 from repro.workload.generator import OperationGenerator
@@ -65,20 +66,22 @@ class YCSBBenchmark:
     ) -> BenchmarkResult:
         """Benchmark (config, workload) on a fresh analytic instance.
 
-        Mirrors §4.2: a fresh server per data point (the Docker reset), a
-        load phase, then the measured run.  Throughput is reported as the
-        mean over the run, with a 10-second-interval series attached.
+        Mirrors §4.2: a fresh server per data point (the Docker reset —
+        here an adapter provision/teardown cycle), a load phase, then the
+        measured run.  Throughput is reported as the mean over the run,
+        with a 10-second-interval series attached.
         """
-        model = self.datastore.new_analytic_instance(
-            config, profile=workload.to_profile(), seed=seed
+        adapter = SimulatedDatastoreAdapter(
+            self.datastore, config, profile=workload.to_profile(), seed=seed
         )
-        if load:
-            model.load(workload.n_keys)
-            model.settle(self.settle_seconds)
-
-        steps = model.run(workload.read_ratio, self.run_seconds, self.step_seconds)
+        adapter.provision(
+            load_keys=workload.n_keys if load else None,
+            settle_seconds=self.settle_seconds,
+        )
+        steps = adapter.run(workload.read_ratio, self.run_seconds, self.step_seconds)
         series = self._bucket_series(steps)
         mean_tp = float(np.mean([s.throughput for s in steps]))
+        adapter.teardown()
         return BenchmarkResult(
             workload=workload,
             configuration=config,

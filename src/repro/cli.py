@@ -6,6 +6,7 @@ The offline/online split of the paper maps onto subcommands::
     python -m repro train     --dataset dataset.json --out surrogate.json
     python -m repro recommend --surrogate surrogate.json --read-ratio 0.9
     python -m repro replay    --surrogate surrogate.json --hours 24
+    python -m repro serve     --surrogate surrogate.json --manifest tenants.toml
     python -m repro characterize --hours 24
     python -m repro resume    --journal campaign.wal --out dataset.json
     python -m repro verify-artifact dataset.json
@@ -15,6 +16,12 @@ is the online call a datastore operator (or agent) makes when the
 workload shifts.  ``collect`` and ``train`` accept ``--workers N`` to
 run the campaign / ensemble training on a process pool with
 bitwise-identical results.
+
+``replay`` and ``serve`` are the online service entry points, both
+running on the middleware layer (:mod:`repro.middleware`): ``replay``
+races one tuned tenant against a static-default baseline on the same
+trace, while ``serve`` hosts a whole tenant fleet from a TOML/JSON
+manifest, one shared surrogate amortized across all of them.
 
 Artifacts are written atomically with CRC32 checksums, and the long
 offline stages are crash-safe: ``collect --journal`` appends each
@@ -36,7 +43,6 @@ from repro.bench.collection import CAMPAIGN_JOURNAL_KIND, DataCollectionCampaign
 from repro.bench.dataset import load_dataset, save_dataset
 from repro.bench.ycsb import YCSBBenchmark
 from repro.config import CASSANDRA_KEY_PARAMETERS, SCYLLA_KEY_PARAMETERS
-from repro.core.controller import OnlineController
 from repro.core.persistence import load_surrogate, save_surrogate
 from repro.core.policies import HysteresisPolicy, make_policy
 from repro.core.rafiki import Rafiki
@@ -44,6 +50,12 @@ from repro.core.surrogate import SurrogateModel
 from repro.datastore import CassandraLike, ScyllaLike
 from repro.errors import PersistenceError
 from repro.faults import FaultPlan
+from repro.middleware import (
+    MiddlewareScheduler,
+    TenantSpec,
+    load_manifest,
+    specs_from_manifest,
+)
 from repro.ml.ensemble import EnsembleConfig
 from repro.runtime import EventBus, resolve_backend
 from repro.workload.characterize import characterize_trace
@@ -62,6 +74,11 @@ def _make_datastore(name: str):
 
 def _subscribe_recovery(events: EventBus) -> None:
     events.subscribe(lambda e: print(f"   {e}"), topic="recovery")
+
+
+def _load_rafiki(args, datastore) -> Rafiki:
+    surrogate = load_surrogate(args.surrogate, datastore.space)
+    return Rafiki(datastore, surrogate, surrogate.feature_parameters, seed=args.seed)
 
 
 # ------------------------------------------------------------------ subcommands
@@ -235,9 +252,8 @@ def cmd_verify_artifact(args) -> int:
 
 
 def cmd_recommend(args) -> int:
-    datastore, key_params = _make_datastore(args.datastore)
-    surrogate = load_surrogate(args.surrogate, datastore.space)
-    rafiki = Rafiki(datastore, surrogate, surrogate.feature_parameters, seed=args.seed)
+    datastore, _ = _make_datastore(args.datastore)
+    rafiki = _load_rafiki(args, datastore)
     result = rafiki.recommend(args.read_ratio)
     payload = {
         "read_ratio": args.read_ratio,
@@ -252,9 +268,14 @@ def cmd_recommend(args) -> int:
 
 
 def cmd_replay(args) -> int:
+    """Race a tuned tenant against the static-default baseline.
+
+    Both run as middleware tenants on one scheduler: identical trace,
+    identical seeds, deterministic interleaving — only the tuning
+    differs.
+    """
     datastore, _ = _make_datastore(args.datastore)
-    surrogate = load_surrogate(args.surrogate, datastore.space)
-    rafiki = Rafiki(datastore, surrogate, surrogate.feature_parameters, seed=args.seed)
+    rafiki = _load_rafiki(args, datastore)
     series = MGRastTraceGenerator(seed=args.seed).read_ratio_series(args.hours * 3600)
     base_workload = mgrast_workload(0.5)
 
@@ -270,30 +291,39 @@ def cmd_replay(args) -> int:
         )
     events = EventBus()
     if not args.quiet:
-        events.subscribe(lambda e: print(f"   {e}"), topic="fault")
-        events.subscribe(lambda e: print(f"   {e}"), topic="controller")
+        events.subscribe(lambda e: print(f"   {e}"), topic="tenant.rafiki.fault")
+        events.subscribe(lambda e: print(f"   {e}"), topic="tenant.rafiki.controller")
 
-    def policy(mode):
-        forecaster = MarkovRegimeForecaster() if mode == "forecast" else None
-        return HysteresisPolicy(make_policy(mode, forecaster), min_change=0.08)
-
-    common = dict(
-        seed=args.seed,
-        n_nodes=args.nodes,
-        replication_factor=args.replication_factor,
+    forecaster = MarkovRegimeForecaster() if args.mode == "forecast" else None
+    scheduler = MiddlewareScheduler(datastore, rafiki, events=events)
+    scheduler.add_tenant(
+        TenantSpec(
+            tenant_id="static",
+            rr_series=series,
+            base_workload=base_workload,
+            use_rafiki=False,
+            n_nodes=args.nodes,
+            replication_factor=args.replication_factor,
+            seed=args.seed,
+        )
     )
-    static = OnlineController(datastore, None, base_workload, **common).run(series)
-    controller = OnlineController(
-        datastore,
-        rafiki,
-        base_workload,
-        policy=policy(args.mode),
-        events=events,
-        fault_plan=fault_plan,
-        canary_margin=args.canary_margin,
-        **common,
+    scheduler.add_tenant(
+        TenantSpec(
+            tenant_id="rafiki",
+            rr_series=series,
+            base_workload=base_workload,
+            policy=HysteresisPolicy(
+                make_policy(args.mode, forecaster), min_change=0.08
+            ),
+            n_nodes=args.nodes,
+            replication_factor=args.replication_factor,
+            seed=args.seed,
+            fault_plan=fault_plan,
+            canary_margin=args.canary_margin,
+        )
     )
-    tuned = controller.run(series)
+    results = scheduler.run()
+    static, tuned = results["static"], results["rafiki"]
     gain = tuned.mean_throughput / static.mean_throughput - 1.0
     print(f"windows:          {len(series)}")
     print(f"static default:   {static.mean_throughput:>12,.0f} ops/s")
@@ -302,6 +332,60 @@ def cmd_replay(args) -> int:
     if fault_plan is not None or args.canary_margin is not None:
         print(f"rollbacks:        {tuned.rollback_count}")
         print(f"degraded windows: {tuned.degraded_count}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run a multi-tenant campaign from a tenant manifest."""
+    datastore, _ = _make_datastore(args.datastore)
+    try:
+        manifest = load_manifest(args.manifest)
+        specs = specs_from_manifest(manifest, hours=args.hours)
+    except PersistenceError as exc:
+        print(f"bad manifest: {exc}", file=sys.stderr)
+        return 1
+    rafiki = _load_rafiki(args, datastore)
+    events = EventBus()
+    restart_loss = {spec.tenant_id: 0.0 for spec in specs}
+    restarted_nodes = {spec.tenant_id: 0 for spec in specs}
+
+    def on_restart(event):
+        # tenant.<id>.actuate.rolling_restart — charge the transient
+        # capacity loss to the tenant that paid it.
+        parts = event.topic.split(".")
+        tenant_id = parts[1]
+        restart_loss[tenant_id] += event.payload["ops_lost"]
+        restarted_nodes[tenant_id] += event.payload["nodes_restarted"]
+
+    for spec in specs:
+        events.subscribe(
+            on_restart, topic=f"tenant.{spec.tenant_id}.actuate.rolling_restart"
+        )
+    if not args.quiet:
+        events.subscribe(
+            lambda e: print(f"   {e.message}"),
+            topic="scheduler",
+        )
+    scheduler = MiddlewareScheduler(datastore, rafiki, events=events)
+    for spec in specs:
+        scheduler.add_tenant(spec)
+    results = scheduler.run()
+    print(f"tenants:          {len(results)}  ({manifest.source})")
+    for spec in specs:
+        run = results[spec.tenant_id]
+        line = (
+            f"tenant {spec.tenant_id:<16} {len(run.events):>4} windows  "
+            f"{run.mean_throughput:>12,.0f} ops/s  "
+            f"{run.reconfiguration_count:>3} reconfigs  "
+            f"{run.rollback_count:>2} rollbacks  "
+            f"{run.degraded_count:>2} degraded"
+        )
+        if spec.restart_policy == "rolling":
+            line += (
+                f"  {restarted_nodes[spec.tenant_id]} node restarts "
+                f"({restart_loss[spec.tenant_id]:,.0f} ops lost)"
+            )
+        print(line)
     return 0
 
 
@@ -324,34 +408,50 @@ def cmd_characterize(args) -> int:
 # ------------------------------------------------------------------ parser
 
 
+def _positive_int(text):
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _parent(*adders) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    for add in adders:
+        add(parent)
+    return parent
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Rafiki NoSQL-tuning middleware (reproduction)"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p):
-        p.add_argument("--datastore", default="cassandra", help="cassandra | scylladb")
-        p.add_argument("--seed", type=int, default=0)
-
-    def positive_int(text):
-        value = int(text)
-        if value < 1:
-            raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-        return value
-
-    def add_workers(p):
-        p.add_argument(
+    # Shared flags are defined once, on reusable parent parsers, so every
+    # subcommand spells --datastore/--seed/--quiet/--workers identically.
+    datastore_p = _parent(
+        lambda p: p.add_argument(
+            "--datastore", default="cassandra", help="cassandra | scylladb"
+        )
+    )
+    seed_p = _parent(lambda p: p.add_argument("--seed", type=int, default=0))
+    quiet_p = _parent(lambda p: p.add_argument("--quiet", action="store_true"))
+    workers_p = _parent(
+        lambda p: p.add_argument(
             "--workers",
-            type=positive_int,
+            type=_positive_int,
             default=1,
             help="worker processes for the parallel execution backend "
             "(1 = serial; results are identical either way)",
         )
+    )
 
-    p = sub.add_parser("collect", help="run the offline benchmarking campaign")
-    add_common(p)
-    add_workers(p)
+    p = sub.add_parser(
+        "collect",
+        help="run the offline benchmarking campaign",
+        parents=[datastore_p, seed_p, workers_p, quiet_p],
+    )
     p.add_argument("--out", required=True, help="dataset JSON path")
     p.add_argument("--base-read-ratio", type=float, default=0.5)
     p.add_argument("--workloads", type=int, default=11)
@@ -369,21 +469,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="append-only WAL path; a killed campaign resumes from it "
         "(see the 'resume' subcommand)",
     )
-    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_collect)
 
     p = sub.add_parser(
-        "resume", help="finish a killed collect campaign from its journal"
+        "resume",
+        help="finish a killed collect campaign from its journal",
+        parents=[workers_p, quiet_p],
     )
-    add_workers(p)
     p.add_argument("--journal", required=True, help="the campaign's WAL path")
     p.add_argument("--out", required=True, help="dataset JSON path")
-    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_resume)
 
-    p = sub.add_parser("train", help="train the surrogate on a dataset")
-    add_common(p)
-    add_workers(p)
+    p = sub.add_parser(
+        "train",
+        help="train the surrogate on a dataset",
+        parents=[datastore_p, seed_p, workers_p, quiet_p],
+    )
     p.add_argument("--dataset", required=True)
     p.add_argument("--out", required=True, help="surrogate JSON path")
     p.add_argument("--networks", type=int, default=20)
@@ -394,7 +495,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint each trained ensemble member here; a restarted "
         "train skips finished members",
     )
-    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_train)
 
     p = sub.add_parser(
@@ -404,24 +504,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path", help="artifact or journal path")
     p.set_defaults(func=cmd_verify_artifact)
 
-    p = sub.add_parser("recommend", help="search for a configuration")
-    add_common(p)
+    p = sub.add_parser(
+        "recommend",
+        help="search for a configuration",
+        parents=[datastore_p, seed_p],
+    )
     p.add_argument("--surrogate", required=True)
     p.add_argument("--read-ratio", type=float, required=True)
     p.set_defaults(func=cmd_recommend)
 
-    p = sub.add_parser("replay", help="replay a dynamic MG-RAST day")
-    add_common(p)
+    p = sub.add_parser(
+        "replay",
+        help="replay a dynamic MG-RAST day",
+        parents=[datastore_p, seed_p, quiet_p],
+    )
     p.add_argument("--surrogate", required=True)
     p.add_argument("--hours", type=int, default=24)
     p.add_argument(
         "--mode", default="oracle", choices=("oracle", "reactive", "forecast")
     )
     p.add_argument(
-        "--nodes", type=positive_int, default=1, help="simulated cluster size"
+        "--nodes", type=_positive_int, default=1, help="simulated cluster size"
     )
     p.add_argument(
-        "--replication-factor", type=positive_int, default=1, dest="replication_factor"
+        "--replication-factor", type=_positive_int, default=1, dest="replication_factor"
     )
     p.add_argument(
         "--fault-seed",
@@ -435,11 +541,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="enable canary-and-rollback with this undershoot margin, e.g. 0.2",
     )
-    p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_replay)
 
-    p = sub.add_parser("characterize", help="synthesize + characterize a trace")
-    p.add_argument("--seed", type=int, default=0)
+    p = sub.add_parser(
+        "serve",
+        help="run a multi-tenant campaign from a tenant manifest",
+        parents=[datastore_p, seed_p, quiet_p],
+    )
+    p.add_argument("--surrogate", required=True, help="shared surrogate JSON path")
+    p.add_argument(
+        "--manifest",
+        required=True,
+        help="TOML (Python 3.11+) or JSON tenant manifest",
+    )
+    p.add_argument(
+        "--hours",
+        type=float,
+        default=None,
+        help="override every tenant's campaign length",
+    )
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "characterize",
+        help="synthesize + characterize a trace",
+        parents=[seed_p],
+    )
     p.add_argument("--hours", type=int, default=24)
     p.add_argument("--queries", type=int, default=1000, help="queries per window")
     p.set_defaults(func=cmd_characterize)

@@ -1,50 +1,48 @@
-"""Online reconfiguration controller.
+"""Online reconfiguration controller (legacy single-tenant API).
 
 Applies Rafiki to a live workload: watch the RR of each 15-minute
 window, and when the regime shifts, search the surrogate and push the
-new configuration to the server.  The paper's future work is minimizing
-reconfiguration downtime; here a configurable penalty models the
-disruption (cache demotion is already modelled inside ``reconfigure``).
+new configuration to the server.
 
-*What* to tune for each window is delegated to a
-:class:`~repro.core.policies.DecisionPolicy`; the controller itself only
-executes decisions (search, push, account for downtime).  The paper's
-three modes remain available through the deprecated ``decision_mode``
-string shim, which builds the equivalent policy stack.
+Historically this module owned the whole control loop.  That loop now
+lives in the middleware service layer — a
+:class:`~repro.middleware.session.TenantSession` runs the
+observe -> decide -> actuate -> canary state machine against a
+:class:`~repro.datastore.adapter.DatastoreAdapter`, and a
+:class:`~repro.middleware.scheduler.MiddlewareScheduler` multiplexes
+many such sessions over one shared surrogate.  ``OnlineController`` is
+kept as a thin, fully compatible shim: :meth:`run` provisions a
+single-tenant session with the legacy instant-push semantics and drives
+it window by window, producing bit-identical results (throughputs,
+reconfigurations, rollbacks, and the ``controller.*`` / ``fault.*``
+event sequence) to the historical monolithic loop.
 
-Robustness (beyond the paper, which assumes every search and push
-succeeds first try):
+The guardrail vocabulary still lives here, because both the shim and
+the middleware share it:
 
-* **Retry with backoff** — transient search/push failures
-  (:class:`~repro.errors.TransientError`, e.g. from an injected
-  :class:`~repro.faults.FaultPlan`) are retried under a
-  :class:`RetryPolicy`; the simulated backoff time is charged against
-  the window, so flakiness costs throughput instead of crashing runs.
-* **Degraded mode** — when the search or push budget is exhausted the
-  controller falls back to the vendor default configuration (the
-  paper's baseline) and keeps serving, publishing
+* :class:`RetryPolicy` — bounded exponential backoff for transient
+  search/push failures; simulated backoff time is charged against the
+  window, so flakiness costs throughput instead of crashing runs.
+* Degraded mode — an exhausted search/push budget falls back to the
+  vendor default configuration (the paper's baseline) and publishes
   ``controller.degraded``.
-* **Canary + rollback** — with ``canary_margin`` set, every freshly
-  pushed configuration is canaried for one window: if the observed
-  throughput undershoots the surrogate's prediction (normalized by a
-  running observed/predicted ratio, widened by the ensemble's
-  uncertainty from ``predict_mean_std``), the previous configuration is
-  restored and ``controller.rollback`` published.
-* **Multi-node operation** — ``n_nodes > 1`` drives a
-  :class:`~repro.datastore.cluster.Cluster` instead of a single server,
-  the target a :class:`~repro.faults.FaultInjector` needs for node
-  crash / disk-slowdown faults.
+* Canary + rollback — with ``canary_margin`` set, a freshly pushed
+  configuration is canaried for one window against the surrogate's
+  promise (normalized by a running observed/predicted ratio, widened by
+  the ensemble's uncertainty) and reverted on undershoot
+  (``controller.rollback``).
+* Multi-node operation — ``n_nodes > 1`` drives a
+  :class:`~repro.datastore.cluster.Cluster`, the target a
+  :class:`~repro.faults.FaultInjector` needs for node faults.
 
-All of it is event-audited (``controller.*`` / ``fault.*`` topics) and
-deterministic: the same fault plan and seed reproduce the identical
-event sequence.  With no fault plan, no canary, and one node, the run
-is bit-identical to the fault-unaware controller.
+All of it is event-audited and deterministic: the same fault plan and
+seed reproduce the identical event sequence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -52,14 +50,11 @@ from repro.config.space import Configuration
 from repro.core.policies import (
     DecisionPolicy,
     HysteresisPolicy,
-    WindowObservation,
     make_policy,
 )
 from repro.core.rafiki import Rafiki
 from repro.datastore.base import Datastore
-from repro.datastore.cluster import Cluster
-from repro.errors import SearchError, TransientError
-from repro.faults.injector import FaultInjector
+from repro.errors import SearchError
 from repro.faults.plan import FaultPlan
 from repro.runtime.deprecation import warn_deprecated
 from repro.runtime.events import EventBus
@@ -135,7 +130,14 @@ class ControllerRun:
 
 
 class OnlineController:
-    """Drives one simulated server through an RR window series."""
+    """Drives one simulated server through an RR window series.
+
+    Deprecated-but-stable: new code should build a
+    :class:`~repro.middleware.session.TenantSession` (or a
+    :class:`~repro.middleware.scheduler.MiddlewareScheduler` for more
+    than one tenant); this class wraps exactly one session per
+    :meth:`run` call.
+    """
 
     #: Deprecated string shim (see :mod:`repro.core.policies`):
     #: "oracle"   — the current window's RR (the paper's setting);
@@ -244,295 +246,50 @@ class OnlineController:
         self.canary_margin = canary_margin
         self.canary_std_factor = canary_std_factor
 
-    # -- resilient operations --------------------------------------------------
+    # -- the control loop ------------------------------------------------------
 
-    def _publish(self, topic: str, message: str, **payload) -> None:
-        self.events.publish(topic, message, **payload)
+    def make_session(self):
+        """Build the single-tenant middleware session this shim drives.
 
-    def _attempt(
-        self, kind: str, window: int, fn: Callable[[], object]
-    ) -> Tuple[bool, object, float]:
-        """Run ``fn`` under the retry policy.
-
-        Returns ``(ok, result, lost_seconds)`` where ``lost_seconds`` is
-        the simulated backoff spent on retries.  Only
-        :class:`TransientError` is retried; anything else escapes.
+        Lazy-imports the middleware layer: ``core`` sits below
+        ``middleware`` in the import DAG (see
+        ``scripts/check_layering.py``), and a deprecated shim reaching
+        one layer up at call time is the sanctioned exception.
         """
-        lost = 0.0
-        backoff = self.retry.backoff_s
-        for attempt in range(1, self.retry.max_attempts + 1):
-            try:
-                return True, fn(), lost
-            except TransientError:
-                out_of_budget = (
-                    attempt >= self.retry.max_attempts
-                    or lost + backoff > self.retry.deadline_s
-                )
-                if out_of_budget:
-                    return False, None, lost
-                self._publish(
-                    "controller.retry",
-                    f"{kind} failed (window {window}, attempt {attempt}); "
-                    f"retrying after {backoff:.1f}s",
-                    kind=kind,
-                    window=window,
-                    attempt=attempt,
-                    backoff_s=backoff,
-                )
-                lost += backoff
-                backoff *= self.retry.backoff_factor
-        return False, None, lost  # pragma: no cover - loop always returns
+        from repro.datastore.adapter import SimulatedDatastoreAdapter
+        from repro.middleware.session import TenantSession
 
-    def _make_server(self):
-        """Fresh server (single analytic model or a multi-node cluster)."""
-        profile = self.base_workload.to_profile()
-        if self.n_nodes == 1:
-            model = self.datastore.new_analytic_instance(
-                self.datastore.default_configuration(),
-                profile=profile,
-                seed=self.seed,
-            )
-            return model, None
-        cluster = Cluster(
+        adapter = SimulatedDatastoreAdapter(
             self.datastore,
-            self.datastore.default_configuration(),
             n_nodes=self.n_nodes,
             replication_factor=self.replication_factor,
-            n_shooters=self.n_nodes,
-            profile=profile,
+            profile=self.base_workload.to_profile(),
             seed=self.seed,
+            events=self.events,
         )
-        return cluster, cluster
-
-    # -- the control loop ------------------------------------------------------
+        return TenantSession(
+            self.datastore,
+            self.rafiki,
+            adapter,
+            self.policy,
+            tenant_id="legacy",
+            window_seconds=self.window_seconds,
+            reconfiguration_penalty_s=self.reconfiguration_penalty_s,
+            retry=self.retry,
+            canary_margin=self.canary_margin,
+            canary_std_factor=self.canary_std_factor,
+            events=self.events,
+            fault_plan=self.fault_plan,
+            restart_policy="instant",
+            passive_forecaster=self._passive_forecaster,
+        )
 
     def run(self, rr_series: Sequence[float], load: bool = True) -> ControllerRun:
         """Replay an RR window series against one long-lived server."""
         if len(rr_series) == 0:
             raise SearchError("empty RR series")
-        default_config = self.datastore.default_configuration()
-        config = default_config
-        server, cluster = self._make_server()
-        if load:
-            server.load(self.base_workload.n_keys)
-            server.settle()
-
-        injector = (
-            FaultInjector(self.fault_plan, events=self.events)
-            if self.fault_plan is not None and not self.fault_plan.is_empty
-            else None
-        )
-        canary_on = self.canary_margin is not None and self.rafiki is not None
-
-        self.policy.reset()
-        run = ControllerRun()
-        previous_rr: Optional[float] = None
-        ratio_baseline: Optional[float] = None    # EWMA of observed/predicted
-        pending_canary: Optional[Configuration] = None  # config to roll back to
-        redecide = False      # last window degraded: don't trust "hold"
-        for w, rr in enumerate(rr_series):
-            rr = float(np.clip(rr, 0.0, 1.0))
-            reconfigured = False
-            degraded = False
-            rolled_back = False
-            retry_lost = 0.0
-            if injector is not None:
-                injector.begin_window(w, cluster=cluster)
-            if self.rafiki is not None:
-                decision_rr = self.policy.decide(
-                    WindowObservation(
-                        index=w, read_ratio=rr, previous_read_ratio=previous_rr
-                    )
-                )
-                if decision_rr is None and redecide:
-                    # The previous window ended on a fallback config the
-                    # policy believes was the intended one; hysteresis
-                    # would hold forever.  Re-decide from the observed RR
-                    # until a window completes healthy again.
-                    decision_rr = rr
-                if decision_rr is not None:
-                    target, lost, degraded = self._decide_target(
-                        w, decision_rr, injector, default_config
-                    )
-                    retry_lost += lost
-                    if target is not None and target != config:
-                        pushed, lost = self._push(w, server, target, injector)
-                        retry_lost += lost
-                        if pushed:
-                            if canary_on and not degraded:
-                                pending_canary = config
-                            config = target
-                            reconfigured = True
-                        else:
-                            degraded = True
-                            self._publish(
-                                "controller.degraded",
-                                f"config push failed (window {w}); "
-                                "keeping the current configuration",
-                                reason="push",
-                                window=w,
-                            )
-            self.policy.observe(rr)
-            if self._passive_forecaster is not None:
-                self._passive_forecaster.update(rr)
-            previous_rr = rr
-
-            duration = self.window_seconds
-            # Proactive (forecast-driven) reconfiguration happens at the
-            # window boundary, overlapping idle time; reactive/oracle
-            # reconfiguration eats into the window.  Retry backoff is
-            # always in-window lost time.
-            lost = (
-                0.0
-                if (self.policy.proactive or not reconfigured)
-                else self.reconfiguration_penalty_s
-            )
-            lost = min(lost + retry_lost, duration)
-            steps = server.run(rr, duration - lost, dt=1.0)
-            window_ops = sum(s.throughput * s.dt for s in steps)
-            mean_throughput = window_ops / duration
-
-            if canary_on:
-                rolled_back, config, ratio_baseline, pending_canary = (
-                    self._canary_check(
-                        w, rr, config, mean_throughput,
-                        ratio_baseline, pending_canary, server, injector,
-                    )
-                )
-            redecide = degraded
-            run.events.append(
-                ControllerEvent(
-                    window_index=w,
-                    read_ratio=rr,
-                    reconfigured=reconfigured,
-                    configuration=config,
-                    # Downtime counts against the window's mean.
-                    mean_throughput=mean_throughput,
-                    rolled_back=rolled_back,
-                    degraded=degraded,
-                )
-            )
-        return run
-
-    # -- pieces of the loop ----------------------------------------------------
-
-    def _decide_target(
-        self,
-        window: int,
-        decision_rr: float,
-        injector: Optional[FaultInjector],
-        default_config: Configuration,
-    ) -> Tuple[Optional[Configuration], float, bool]:
-        """Search for the window's target config, surviving search faults.
-
-        Returns ``(target, lost_seconds, degraded)``; a ``None`` target
-        means "hold the current configuration".  A permanently failing
-        search degrades to the vendor default — the paper's baseline is
-        always a safe landing spot.
-        """
-
-        def do_search():
-            if injector is not None:
-                injector.check("search", window)
-            return self.rafiki.recommend(decision_rr)
-
-        ok, result, lost = self._attempt("search", window, do_search)
-        if ok:
-            return result.configuration, lost, False
-        self._publish(
-            "controller.degraded",
-            f"search unavailable (window {window}); "
-            "falling back to the default configuration",
-            reason="search",
-            window=window,
-        )
-        return default_config, lost, True
-
-    def _push(
-        self, window: int, server, target: Configuration,
-        injector: Optional[FaultInjector],
-    ) -> Tuple[bool, float]:
-        """Push a configuration to the server under the retry policy."""
-
-        def do_push():
-            if injector is not None:
-                injector.check("push", window)
-            server.reconfigure(self.datastore.effective_knobs(target))
-            return True
-
-        ok, _, lost = self._attempt("push", window, do_push)
-        return ok, lost
-
-    def _canary_check(
-        self,
-        window: int,
-        rr: float,
-        config: Configuration,
-        observed: float,
-        ratio_baseline: Optional[float],
-        pending_canary: Optional[Configuration],
-        server,
-        injector: Optional[FaultInjector],
-    ):
-        """Judge a canaried push against the surrogate's promise.
-
-        The guard is unit-free: it tracks the EWMA of the
-        observed/predicted throughput ratio (which absorbs the
-        single-server-surrogate vs n-node-cluster scale factor) and
-        rolls back when a canary window's ratio undershoots that
-        baseline by more than ``canary_margin`` plus
-        ``canary_std_factor`` times the ensemble's relative spread.
-        """
-        mean_pred, std_pred = self.rafiki.predicted_mean_std(rr, config)
-        if mean_pred <= 0.0:
-            return False, config, ratio_baseline, None
-        ratio = observed / mean_pred
-        if pending_canary is None:
-            ratio_baseline = (
-                ratio
-                if ratio_baseline is None
-                else CANARY_RATIO_ALPHA * ratio
-                + (1.0 - CANARY_RATIO_ALPHA) * ratio_baseline
-            )
-            return False, config, ratio_baseline, None
-        if ratio_baseline is None:
-            # A push in the very first window has nothing to compare
-            # against; accept it as the baseline.
-            return False, config, ratio, None
-        tolerance = self.canary_margin + self.canary_std_factor * (
-            std_pred / mean_pred
-        )
-        allowed = ratio_baseline * max(0.0, 1.0 - tolerance)
-        if ratio >= allowed:
-            # Canary passed: fold the window into the baseline.
-            ratio_baseline = (
-                CANARY_RATIO_ALPHA * ratio
-                + (1.0 - CANARY_RATIO_ALPHA) * ratio_baseline
-            )
-            return False, config, ratio_baseline, None
-        # Canary failed: restore the previous configuration.  The revert
-        # happens at the window boundary (no penalty charged); the
-        # undershooting window is excluded from the baseline.
-        self._publish(
-            "controller.rollback",
-            f"canary undershot prediction (window {window}): "
-            f"observed/predicted {ratio:.2f} < allowed {allowed:.2f}",
-            window=window,
-            observed=observed,
-            predicted=mean_pred,
-            ratio=ratio,
-            allowed=allowed,
-            baseline=ratio_baseline,
-        )
-        pushed, _ = self._push(window, server, pending_canary, injector)
-        if pushed:
-            config = pending_canary
-        else:
-            self._publish(
-                "controller.degraded",
-                f"rollback push failed (window {window}); "
-                "keeping the canaried configuration",
-                reason="rollback-push",
-                window=window,
-            )
-        return True, config, ratio_baseline, None
+        session = self.make_session()
+        session.start(load_keys=self.base_workload.n_keys if load else None)
+        for rr in rr_series:
+            session.step(rr)
+        return session.finish(teardown=False)

@@ -5,9 +5,16 @@ with the vendor-specific behaviours the paper relies on: Cassandra obeys
 its configuration file verbatim; ScyllaDB's internal auto-tuner silently
 overrides several user parameters and makes throughput oscillate
 (paper §4.10, Figure 10).  :class:`Cluster` composes several instances
-into a replicated peer-to-peer ring (Table 3's multi-server setup).
+into a replicated peer-to-peer ring (Table 3's multi-server setup), and
+:class:`SimulatedDatastoreAdapter` owns the provision / apply-config /
+rolling-restart / teardown lifecycle on top of either.
 """
 
+from repro.datastore.adapter import (
+    DatastoreAdapter,
+    RollingRestartReport,
+    SimulatedDatastoreAdapter,
+)
 from repro.datastore.base import Datastore
 from repro.datastore.cassandra import CassandraLike
 from repro.datastore.scylla import ScyllaLike, ScyllaAutotuner
@@ -16,6 +23,9 @@ from repro.datastore.ring import EngineCluster, HashRing
 
 __all__ = [
     "Datastore",
+    "DatastoreAdapter",
+    "SimulatedDatastoreAdapter",
+    "RollingRestartReport",
     "CassandraLike",
     "ScyllaLike",
     "ScyllaAutotuner",

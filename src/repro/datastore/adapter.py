@@ -1,0 +1,277 @@
+"""Actuation layer: datastore lifecycle behind a uniform adapter.
+
+Three call sites used to mint simulated servers by hand — the online
+controller's ``_make_server``, the YCSB harness's fresh-instance-per-
+sample reset, and the CLI's replay wiring.  The :class:`DatastoreAdapter`
+protocol extracts that duplication into one place that owns the full
+lifecycle: **provision** (fresh server or cluster), **apply-config**
+(the legacy teleport push), **rolling-restart** (per-node config
+application that charges the transient capacity loss a real restart
+costs), and **teardown**.
+
+The rolling restart is what makes reconfiguration cost a first-class
+modeled event instead of a flat penalty constant: each node is taken out
+of the serving set for ``restart_seconds_per_node`` simulated seconds
+while the rest of the ring carries the load, so the report's ``ops_lost``
+is exactly the capacity the restart transient cost — the quantity
+Rafiki's hysteresis exists to amortize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.config.space import Configuration
+from repro.datastore.base import Datastore
+from repro.datastore.cluster import Cluster
+from repro.errors import DatastoreError
+from repro.lsm.analytic import WorkloadProfile
+from repro.sim.rng import SeedLike
+
+#: Simulated seconds one node needs to restart with a new configuration.
+#: Rafiki's targets restart in tens of seconds (JVM warmup for Cassandra,
+#: shard re-init for ScyllaDB); 30 s keeps the cost visible without
+#: consuming a whole 15-minute window on small rings.
+RESTART_SECONDS_PER_NODE = 30.0
+
+
+@dataclass
+class RollingRestartReport:
+    """Accounting for one rolling config application."""
+
+    nodes_restarted: int
+    skipped_nodes: Tuple[int, ...]   # already-down nodes: knobs pushed, no cycle
+    duration_s: float                # simulated time the rolling phase consumed
+    ops_served: float                # logical ops completed during the phase
+    ops_lost: float                  # capacity shortfall vs. the healthy ring
+    steps: List = field(default_factory=list)  # per-step results (window-countable)
+
+
+class DatastoreAdapter:
+    """Protocol for actuating configuration changes on a datastore.
+
+    Implementations own one server (or cluster) end to end.  The online
+    session layer only ever talks to this interface, so swapping the
+    simulated substrate for a real fleet driver means implementing these
+    five methods.
+    """
+
+    def provision(self, load_keys: Optional[int] = None,
+                  settle_seconds: Optional[float] = None):
+        """Create a fresh server; optionally run the load+settle phase."""
+        raise NotImplementedError
+
+    def apply_config(self, config: Configuration) -> None:
+        """Push ``config`` to every node instantly (legacy semantics)."""
+        raise NotImplementedError
+
+    def rolling_restart(self, config: Configuration, read_ratio: float,
+                        dt: float = 1.0) -> RollingRestartReport:
+        """Apply ``config`` node by node, charging restart downtime."""
+        raise NotImplementedError
+
+    def run(self, read_ratio: float, duration: float, dt: float = 1.0):
+        """Drive the provisioned server for ``duration`` simulated seconds."""
+        raise NotImplementedError
+
+    def teardown(self) -> None:
+        """Release the server (the analogue of the paper's Docker reset)."""
+        raise NotImplementedError
+
+
+class SimulatedDatastoreAdapter(DatastoreAdapter):
+    """Adapter over the simulated substrate (analytic model / Cluster).
+
+    ``n_nodes == 1`` provisions a single analytic server;
+    ``n_nodes > 1`` provisions a :class:`Cluster` with one YCSB shooter
+    per node, exactly as ``OnlineController._make_server`` did — a
+    single-tenant middleware run stays bit-identical to the legacy
+    controller.
+    """
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        initial_config: Optional[Configuration] = None,
+        *,
+        n_nodes: int = 1,
+        replication_factor: int = 1,
+        profile: Optional[WorkloadProfile] = None,
+        seed: SeedLike = 0,
+        restart_seconds_per_node: float = RESTART_SECONDS_PER_NODE,
+        events=None,
+    ):
+        if n_nodes < 1:
+            raise DatastoreError("adapter needs n_nodes >= 1")
+        if restart_seconds_per_node < 0:
+            raise DatastoreError("restart_seconds_per_node must be >= 0")
+        self.datastore = datastore
+        self.config = initial_config or datastore.default_configuration()
+        self.n_nodes = n_nodes
+        self.replication_factor = replication_factor
+        self.profile = profile
+        self.seed = seed
+        self.restart_seconds_per_node = restart_seconds_per_node
+        self.events = events
+        self.server = None
+        self.cluster: Optional[Cluster] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def provision(self, load_keys: Optional[int] = None,
+                  settle_seconds: Optional[float] = None):
+        if self.n_nodes == 1:
+            self.server = self.datastore.new_analytic_instance(
+                self.config, profile=self.profile, seed=self.seed
+            )
+            self.cluster = None
+        else:
+            self.cluster = Cluster(
+                self.datastore,
+                self.config,
+                n_nodes=self.n_nodes,
+                replication_factor=self.replication_factor,
+                n_shooters=self.n_nodes,
+                profile=self.profile,
+                seed=self.seed,
+            )
+            self.server = self.cluster
+        if load_keys is not None:
+            self.server.load(load_keys)
+            if settle_seconds is None:
+                self.server.settle()
+            else:
+                self.server.settle(settle_seconds)
+        self._publish("actuate.provision",
+                      f"provisioned {self.n_nodes} node(s)",
+                      n_nodes=self.n_nodes,
+                      replication_factor=self.replication_factor)
+        return self.server
+
+    def teardown(self) -> None:
+        if self.server is not None:
+            self._publish("actuate.teardown", "server released")
+        self.server = None
+        self.cluster = None
+
+    # -- config application ----------------------------------------------------
+
+    def apply_config(self, config: Configuration) -> None:
+        self._require_server()
+        self.server.reconfigure(self.datastore.effective_knobs(config))
+        if self.cluster is not None:
+            self.cluster.config = config
+        self.config = config
+
+    def rolling_restart(self, config: Configuration, read_ratio: float,
+                        dt: float = 1.0) -> RollingRestartReport:
+        """Per-node restart into ``config``; the transient is charged.
+
+        While node *i* restarts it is out of the serving set: on a
+        cluster the surviving nodes absorb the load (capped by the
+        slowest live node, so capacity genuinely drops); on a single
+        server the restart is full downtime.  Already-down nodes get the
+        new knobs without a restart cycle — they rejoin with the current
+        configuration, as :meth:`Cluster.reconfigure` guarantees.
+        """
+        self._require_server()
+        knobs = self.datastore.effective_knobs(config)
+        if self.cluster is None:
+            report = self._single_node_restart(knobs, read_ratio)
+        else:
+            report = self._cluster_rolling_restart(knobs, read_ratio, dt)
+            self.cluster.config = config
+        self.config = config
+        self._publish(
+            "actuate.rolling_restart",
+            f"rolling restart: {report.nodes_restarted} node(s) in "
+            f"{report.duration_s:.0f}s, {report.ops_lost:,.0f} ops of "
+            "capacity lost",
+            nodes_restarted=report.nodes_restarted,
+            skipped_nodes=report.skipped_nodes,
+            duration_s=report.duration_s,
+            ops_served=report.ops_served,
+            ops_lost=report.ops_lost,
+        )
+        return report
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self, read_ratio: float, duration: float, dt: float = 1.0):
+        self._require_server()
+        return self.server.run(read_ratio, duration, dt=dt)
+
+    # -- internals -------------------------------------------------------------
+
+    def _single_node_restart(self, knobs, read_ratio: float) -> RollingRestartReport:
+        duration = self.restart_seconds_per_node
+        healthy = self.server.sustainable_throughput(read_ratio)
+        self.server.reconfigure(knobs)
+        return RollingRestartReport(
+            nodes_restarted=1,
+            skipped_nodes=(),
+            duration_s=duration,
+            ops_served=0.0,
+            ops_lost=healthy * duration,
+            steps=[],
+        )
+
+    def _cluster_rolling_restart(self, knobs, read_ratio: float,
+                                 dt: float) -> RollingRestartReport:
+        cluster = self.cluster
+        healthy_cap = cluster.sustainable_throughput(read_ratio)
+        steps: List = []
+        restarted = 0
+        skipped: List[int] = []
+        down_before = set(cluster.down_node_indices)
+        for i in range(cluster.n_nodes):
+            if i in down_before:
+                # Crashed by a fault: push the knobs (it rejoins with the
+                # current configuration) but do not cycle it — restarting
+                # would wrongly resurrect it.
+                skipped.append(i)
+                cluster.nodes[i].reconfigure(knobs)
+                continue
+            try:
+                cluster.fail_node(i)
+            except DatastoreError:
+                # Last live node: push the knobs without a restart window
+                # rather than dropping the ring to zero capacity.
+                skipped.append(i)
+                cluster.nodes[i].reconfigure(knobs)
+                continue
+            if self.restart_seconds_per_node > 0:
+                steps.extend(
+                    cluster.run(read_ratio, self.restart_seconds_per_node, dt=dt)
+                )
+            cluster.nodes[i].reconfigure(knobs)
+            cluster.recover_node(i)
+            restarted += 1
+        duration = sum(s.dt for s in steps)
+        ops_served = sum(s.throughput * s.dt for s in steps)
+        return RollingRestartReport(
+            nodes_restarted=restarted,
+            skipped_nodes=tuple(skipped),
+            duration_s=duration,
+            ops_served=ops_served,
+            ops_lost=max(0.0, healthy_cap * duration - ops_served),
+            steps=steps,
+        )
+
+    def _require_server(self) -> None:
+        if self.server is None:
+            raise DatastoreError(
+                "adapter has no provisioned server (call provision() first)"
+            )
+
+    def _publish(self, topic: str, message: str, **payload) -> None:
+        if self.events is not None:
+            self.events.publish(topic, message, **payload)
+
+    def __repr__(self) -> str:
+        state = "provisioned" if self.server is not None else "empty"
+        return (
+            f"SimulatedDatastoreAdapter({self.datastore.name} x{self.n_nodes}, "
+            f"RF={self.replication_factor}, {state})"
+        )

@@ -1,0 +1,55 @@
+"""Middleware service layer: multi-tenant online tuning.
+
+The paper positions Rafiki as middleware *between* dynamic workloads and
+a datastore fleet.  This package is that service layer, in four tiers:
+
+* **Actuation** — :class:`~repro.datastore.adapter.DatastoreAdapter`
+  (re-exported here): provision / apply-config / rolling-restart /
+  teardown, with restart transients charged as modeled capacity loss.
+* **Session** — :class:`TenantSession`: one tenant's
+  observe -> decide -> actuate -> canary loop as discrete, resumable
+  phases, with the retry/degraded/rollback guardrails intact.
+* **Scheduler** — :class:`MiddlewareScheduler`: N sessions multiplexed
+  on a shared simulated clock with one shared surrogate and
+  recommendation cache, deterministically interleaved.
+* **Entry** — tenant manifests (:func:`load_manifest`,
+  :func:`specs_from_manifest`) feeding ``python -m repro serve``.
+
+The legacy single-tenant ``OnlineController`` API survives as a thin
+shim over one session; its runs are bit-identical to before.
+"""
+
+from repro.datastore.adapter import (
+    DatastoreAdapter,
+    RollingRestartReport,
+    SimulatedDatastoreAdapter,
+)
+from repro.middleware.manifest import (
+    TenantManifest,
+    load_manifest,
+    parse_manifest,
+    specs_from_manifest,
+)
+from repro.middleware.scheduler import MiddlewareScheduler, TenantSpec
+from repro.middleware.session import (
+    RESTART_POLICIES,
+    SESSION_PHASES,
+    TenantSession,
+    WindowState,
+)
+
+__all__ = [
+    "DatastoreAdapter",
+    "SimulatedDatastoreAdapter",
+    "RollingRestartReport",
+    "TenantSession",
+    "WindowState",
+    "SESSION_PHASES",
+    "RESTART_POLICIES",
+    "MiddlewareScheduler",
+    "TenantSpec",
+    "TenantManifest",
+    "load_manifest",
+    "parse_manifest",
+    "specs_from_manifest",
+]

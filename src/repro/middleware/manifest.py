@@ -1,0 +1,229 @@
+"""Tenant manifests: declarative multi-tenant campaigns.
+
+``python -m repro serve --manifest tenants.toml`` reads a TOML (Python
+3.11+, via :mod:`tomllib`) or JSON manifest describing the tenant fleet
+and builds the :class:`~repro.middleware.scheduler.TenantSpec` list a
+:class:`~repro.middleware.scheduler.MiddlewareScheduler` runs.  Example::
+
+    [defaults]
+    mode = "oracle"
+    hours = 6
+    nodes = 1
+
+    [[tenants]]
+    id = "assembly-day"
+    seed = 1
+
+    [[tenants]]
+    id = "annotation-burst"
+    mode = "forecast"
+    seed = 2
+    nodes = 4
+    replication_factor = 2
+    restart_policy = "rolling"
+    canary_margin = 0.2
+    fault_seed = 7
+
+Unknown keys are rejected (manifests must not silently drift from the
+schema), ``[defaults]`` applies to every tenant that does not override,
+and tenant order in the file is the scheduler's deterministic execution
+order.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core.policies import HysteresisPolicy, make_policy
+from repro.errors import PersistenceError, SearchError
+from repro.faults.plan import FaultPlan
+from repro.middleware.scheduler import TenantSpec
+from repro.workload.forecast import MarkovRegimeForecaster
+from repro.workload.mgrast import MGRastTraceGenerator
+from repro.workload.spec import mgrast_workload
+from repro.workload.trace import DEFAULT_WINDOW_SECONDS
+
+#: Tenant keys a manifest may set (``[defaults]`` may set all but ``id``).
+TENANT_KEYS = frozenset(
+    {
+        "id",
+        "mode",
+        "seed",
+        "hours",
+        "nodes",
+        "replication_factor",
+        "base_read_ratio",
+        "rr_change_threshold",
+        "window_seconds",
+        "reconfiguration_penalty_s",
+        "canary_margin",
+        "canary_std_factor",
+        "fault_seed",
+        "restart_policy",
+        "restart_seconds_per_node",
+        "load",
+    }
+)
+
+_TENANT_DEFAULTS: Dict[str, Any] = {
+    "mode": "oracle",
+    "seed": 0,
+    "hours": 24,
+    "nodes": 1,
+    "replication_factor": 1,
+    "base_read_ratio": 0.5,
+    "rr_change_threshold": 0.08,
+    "window_seconds": DEFAULT_WINDOW_SECONDS,
+    "reconfiguration_penalty_s": 5.0,
+    "canary_margin": None,
+    "canary_std_factor": 2.0,
+    "fault_seed": None,
+    "restart_policy": "instant",
+    "restart_seconds_per_node": 30.0,
+    "load": True,
+}
+
+
+@dataclass(frozen=True)
+class TenantManifest:
+    """Parsed manifest: per-tenant settings with defaults applied."""
+
+    tenants: List[Dict[str, Any]]
+    source: str = "<memory>"
+
+    def __len__(self) -> int:
+        return len(self.tenants)
+
+
+def _parse_document(text: str, path: str) -> Dict[str, Any]:
+    if str(path).endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11: the stdlib has no TOML parser
+            raise PersistenceError(
+                f"cannot read {path}: TOML manifests need Python 3.11+ "
+                "(tomllib); rewrite the manifest as JSON"
+            ) from None
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise PersistenceError(f"malformed TOML manifest {path}: {exc}") from exc
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"malformed JSON manifest {path}: {exc}") from exc
+
+
+def load_manifest(path) -> TenantManifest:
+    """Read and validate a tenant manifest file (TOML or JSON)."""
+    try:
+        with open(path) as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise PersistenceError(f"cannot read manifest {path}: {exc}") from exc
+    return parse_manifest(_parse_document(text, str(path)), source=str(path))
+
+
+def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> TenantManifest:
+    """Validate a manifest document and apply ``[defaults]``."""
+    if not isinstance(document, dict):
+        raise PersistenceError(f"manifest {source} must be a table/object")
+    unknown_sections = set(document) - {"defaults", "tenants"}
+    if unknown_sections:
+        raise PersistenceError(
+            f"manifest {source} has unknown section(s) {sorted(unknown_sections)}"
+        )
+    defaults = document.get("defaults", {})
+    if not isinstance(defaults, dict):
+        raise PersistenceError(f"manifest {source}: [defaults] must be a table")
+    bad = set(defaults) - (TENANT_KEYS - {"id"})
+    if bad:
+        raise PersistenceError(
+            f"manifest {source}: unknown default key(s) {sorted(bad)}"
+        )
+    raw_tenants = document.get("tenants")
+    if not isinstance(raw_tenants, list) or not raw_tenants:
+        raise PersistenceError(
+            f"manifest {source} needs a non-empty [[tenants]] list"
+        )
+    seen = set()
+    tenants = []
+    for i, entry in enumerate(raw_tenants):
+        if not isinstance(entry, dict):
+            raise PersistenceError(f"manifest {source}: tenant #{i} must be a table")
+        bad = set(entry) - TENANT_KEYS
+        if bad:
+            raise PersistenceError(
+                f"manifest {source}: tenant #{i} has unknown key(s) {sorted(bad)}"
+            )
+        merged = {**_TENANT_DEFAULTS, **defaults, **entry}
+        tenant_id = merged.get("id")
+        if not tenant_id or not isinstance(tenant_id, str):
+            raise PersistenceError(
+                f"manifest {source}: tenant #{i} needs a string 'id'"
+            )
+        if tenant_id in seen:
+            raise PersistenceError(
+                f"manifest {source}: duplicate tenant id {tenant_id!r}"
+            )
+        seen.add(tenant_id)
+        tenants.append(merged)
+    return TenantManifest(tenants=tenants, source=source)
+
+
+def specs_from_manifest(
+    manifest: TenantManifest, hours: Optional[float] = None
+) -> List[TenantSpec]:
+    """Instantiate the scheduler-facing specs from a parsed manifest.
+
+    ``hours`` overrides every tenant's campaign length (the CLI's
+    ``--hours`` flag).  Each tenant gets its own seeded MG-RAST trace,
+    decision policy, and (optionally) generated fault plan.
+    """
+    specs = []
+    for entry in manifest.tenants:
+        try:
+            mode = entry["mode"]
+            tenant_hours = hours if hours is not None else entry["hours"]
+            series = MGRastTraceGenerator(
+                seed=entry["seed"], window_seconds=entry["window_seconds"]
+            ).read_ratio_series(tenant_hours * 3600)
+            forecaster = MarkovRegimeForecaster() if mode == "forecast" else None
+            policy = HysteresisPolicy(
+                make_policy(mode, forecaster),
+                min_change=entry["rr_change_threshold"],
+            )
+            fault_plan = None
+            if entry["fault_seed"] is not None:
+                fault_plan = FaultPlan.generate(
+                    seed=entry["fault_seed"],
+                    n_windows=len(series),
+                    n_nodes=entry["nodes"],
+                    slowdown_probability=0.05 if entry["nodes"] > 1 else 0.0,
+                )
+            specs.append(
+                TenantSpec(
+                    tenant_id=entry["id"],
+                    rr_series=series,
+                    base_workload=mgrast_workload(entry["base_read_ratio"]),
+                    policy=policy,
+                    n_nodes=entry["nodes"],
+                    replication_factor=entry["replication_factor"],
+                    seed=entry["seed"],
+                    window_seconds=entry["window_seconds"],
+                    reconfiguration_penalty_s=entry["reconfiguration_penalty_s"],
+                    canary_margin=entry["canary_margin"],
+                    canary_std_factor=entry["canary_std_factor"],
+                    fault_plan=fault_plan,
+                    restart_policy=entry["restart_policy"],
+                    restart_seconds_per_node=entry["restart_seconds_per_node"],
+                    load=bool(entry["load"]),
+                )
+            )
+        except (SearchError, TypeError, ValueError) as exc:
+            raise PersistenceError(
+                f"manifest {manifest.source}: tenant {entry['id']!r}: {exc}"
+            ) from exc
+    return specs

@@ -1,0 +1,210 @@
+"""Scheduler layer: multiplex N tenant sessions on one simulated clock.
+
+Rafiki pays off when the tuning loop is decoupled from per-instance
+execution so models amortize across workloads (the Tuneful/WATER
+observation): here one shared surrogate — and its
+:class:`~repro.core.cache.RecommendationCache` — serves every tenant,
+so a regime one tenant has already searched is a cache hit for all of
+them.
+
+Interleaving is deterministic by construction: tenants run in
+registration order, window by window, on a shared
+:class:`~repro.sim.clock.SimClock`.  The same seed and the same tenant
+set (in the same order) therefore produce the identical event sequence
+— the property the hypothesis tests in
+``tests/test_middleware_scheduler.py`` pin down.
+
+Every tenant's events are namespaced (``tenant.<id>.controller.*``,
+``tenant.<id>.fault.*``, ``tenant.<id>.actuate.*``) via
+``bus.scoped()``; the scheduler itself publishes ``scheduler.start`` /
+``scheduler.window`` / ``scheduler.done``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.core.controller import ControllerRun, RetryPolicy
+from repro.core.policies import DecisionPolicy, HysteresisPolicy, OraclePolicy
+from repro.datastore.adapter import (
+    RESTART_SECONDS_PER_NODE,
+    SimulatedDatastoreAdapter,
+)
+from repro.datastore.base import Datastore
+from repro.errors import SearchError
+from repro.faults.plan import FaultPlan
+from repro.middleware.session import TenantSession
+from repro.runtime.events import EventBus
+from repro.sim.clock import SimClock
+from repro.workload.spec import WorkloadSpec
+from repro.workload.trace import DEFAULT_WINDOW_SECONDS
+
+
+def _default_policy() -> DecisionPolicy:
+    return HysteresisPolicy(OraclePolicy(), min_change=0.08)
+
+
+@dataclass
+class TenantSpec:
+    """Everything the scheduler needs to host one tenant."""
+
+    tenant_id: str
+    rr_series: Sequence[float]
+    base_workload: WorkloadSpec
+    policy: DecisionPolicy = field(default_factory=_default_policy)
+    use_rafiki: bool = True            # False = static-default baseline tenant
+    n_nodes: int = 1
+    replication_factor: int = 1
+    seed: int = 0
+    window_seconds: float = DEFAULT_WINDOW_SECONDS
+    reconfiguration_penalty_s: float = 5.0
+    retry: Optional[RetryPolicy] = None
+    canary_margin: Optional[float] = None
+    canary_std_factor: float = 2.0
+    fault_plan: Optional[FaultPlan] = None
+    restart_policy: str = "instant"
+    restart_seconds_per_node: float = RESTART_SECONDS_PER_NODE
+    load: bool = True
+    trace_phases: bool = False
+
+    def __post_init__(self):
+        if not self.tenant_id or self.tenant_id != self.tenant_id.strip():
+            raise SearchError(f"invalid tenant id {self.tenant_id!r}")
+        if len(self.rr_series) == 0:
+            raise SearchError(f"tenant {self.tenant_id!r} has an empty RR series")
+        if self.n_nodes < 1:
+            raise SearchError("n_nodes must be >= 1")
+        if self.fault_plan is not None:
+            self.fault_plan.validate()
+            if self.fault_plan.max_node >= self.n_nodes:
+                raise SearchError(
+                    f"fault plan targets node {self.fault_plan.max_node} but "
+                    f"tenant {self.tenant_id!r} runs {self.n_nodes} node(s)"
+                )
+            if self.n_nodes == 1 and (
+                self.fault_plan.node_crashes or self.fault_plan.disk_slowdowns
+            ):
+                raise SearchError(
+                    "node crash/slowdown faults need a multi-node cluster "
+                    "(n_nodes >= 2); a single server only takes "
+                    "control-plane faults"
+                )
+
+
+class MiddlewareScheduler:
+    """Runs many tenant sessions in deterministic lockstep."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        rafiki=None,
+        *,
+        events: Optional[EventBus] = None,
+        clock: Optional[SimClock] = None,
+    ):
+        self.datastore = datastore
+        self.rafiki = rafiki
+        self.events = events or EventBus()
+        self.clock = clock or SimClock()
+        self._tenants: Dict[str, tuple] = {}   # id -> (spec, session); ordered
+
+    @property
+    def tenant_ids(self) -> list:
+        return list(self._tenants)
+
+    def session(self, tenant_id: str) -> TenantSession:
+        return self._tenants[tenant_id][1]
+
+    def add_tenant(self, spec: TenantSpec) -> TenantSession:
+        """Register a tenant; order of registration is execution order."""
+        if spec.tenant_id in self._tenants:
+            raise SearchError(f"duplicate tenant id {spec.tenant_id!r}")
+        if spec.use_rafiki and self.rafiki is None:
+            raise SearchError(
+                f"tenant {spec.tenant_id!r} wants tuning but the scheduler "
+                "has no shared rafiki"
+            )
+        scoped = self.events.scoped(f"tenant.{spec.tenant_id}")
+        adapter = SimulatedDatastoreAdapter(
+            self.datastore,
+            n_nodes=spec.n_nodes,
+            replication_factor=spec.replication_factor,
+            profile=spec.base_workload.to_profile(),
+            seed=spec.seed,
+            restart_seconds_per_node=spec.restart_seconds_per_node,
+            events=scoped,
+        )
+        session = TenantSession(
+            self.datastore,
+            self.rafiki if spec.use_rafiki else None,
+            adapter,
+            spec.policy,
+            tenant_id=spec.tenant_id,
+            window_seconds=spec.window_seconds,
+            reconfiguration_penalty_s=spec.reconfiguration_penalty_s,
+            retry=spec.retry,
+            canary_margin=spec.canary_margin,
+            canary_std_factor=spec.canary_std_factor,
+            events=scoped,
+            fault_plan=spec.fault_plan,
+            restart_policy=spec.restart_policy,
+            trace_phases=spec.trace_phases,
+        )
+        self._tenants[spec.tenant_id] = (spec, session)
+        return session
+
+    def run(self) -> Dict[str, ControllerRun]:
+        """Drive every tenant to the end of its series, in lockstep.
+
+        Window *w* of every tenant completes before window *w+1* of any
+        tenant starts; within a window round, tenants execute in
+        registration order.  The shared clock advances by the longest
+        active window each round.
+        """
+        if not self._tenants:
+            raise SearchError("scheduler has no tenants")
+        for spec, session in self._tenants.values():
+            session.start(
+                load_keys=spec.base_workload.n_keys if spec.load else None
+            )
+        horizon = max(len(spec.rr_series) for spec, _ in self._tenants.values())
+        self.events.publish(
+            "scheduler.start",
+            f"{len(self._tenants)} tenant(s), {horizon} window round(s)",
+            tenants=list(self._tenants),
+            windows=horizon,
+        )
+        for w in range(horizon):
+            active = []
+            round_seconds = 0.0
+            for tenant_id, (spec, session) in self._tenants.items():
+                if w < len(spec.rr_series):
+                    session.step(spec.rr_series[w])
+                    active.append(tenant_id)
+                    round_seconds = max(round_seconds, spec.window_seconds)
+            self.clock.advance(round_seconds)
+            self.events.publish(
+                "scheduler.window",
+                f"window round {w} ({len(active)} active)",
+                window=w,
+                t=self.clock.now,
+                active_tenants=active,
+            )
+        results = {
+            tenant_id: session.finish()
+            for tenant_id, (_, session) in self._tenants.items()
+        }
+        self.events.publish(
+            "scheduler.done",
+            f"campaign complete at t={self.clock.now:.0f}s",
+            t=self.clock.now,
+            tenants=list(results),
+        )
+        return results
+
+    def __repr__(self) -> str:
+        return (
+            f"MiddlewareScheduler({self.datastore.name}, "
+            f"tenants={list(self._tenants)})"
+        )

@@ -1,0 +1,513 @@
+"""Session layer: one tenant's control loop as a state machine.
+
+The monolithic ``OnlineController.run()`` window loop is decomposed here
+into discrete, resumable phases::
+
+    OBSERVE -> DECIDE -> ACTUATE -> EXECUTE -> CANARY -> RECORD
+
+Each :meth:`TenantSession.step` drives exactly one workload window
+through those phases (``advance_phase`` runs a single transition, so a
+scheduler — or a debugger — can interleave and inspect sessions
+mid-window).  The legacy controller's behaviours are preserved verbatim:
+the :class:`~repro.core.controller.RetryPolicy` backoff for transient
+search/push faults, degraded-mode fallback to the vendor default, and
+the ratio-EWMA canary with uncertainty-widened rollback.  With
+``restart_policy="instant"`` a session is bit-identical to the legacy
+``OnlineController.run()`` on the same seed.
+
+``restart_policy="rolling"`` replaces the flat reconfiguration penalty
+with the adapter's rolling restart: each node leaves the serving set for
+its restart window, so reconfiguration cost becomes modeled transient
+capacity loss (visible as ``actuate.rolling_restart`` events) instead of
+a constant.
+
+All events publish on the session's bus — hand it a
+``bus.scoped("tenant.3")`` view and every ``controller.*`` / ``fault.*``
+/ ``actuate.*`` topic is namespaced per tenant without touching the
+publish sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config.space import Configuration
+from repro.core.controller import (
+    CANARY_RATIO_ALPHA,
+    ControllerEvent,
+    ControllerRun,
+    RetryPolicy,
+)
+from repro.core.policies import DecisionPolicy, WindowObservation
+from repro.datastore.adapter import DatastoreAdapter, RollingRestartReport
+from repro.datastore.base import Datastore
+from repro.errors import SearchError, TransientError
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.runtime.events import EventBus
+from repro.workload.forecast import RRForecaster
+from repro.workload.trace import DEFAULT_WINDOW_SECONDS
+
+#: Phase order of one window, OBSERVE first.
+SESSION_PHASES = ("observe", "decide", "actuate", "execute", "canary", "record")
+
+#: How configuration pushes land on the datastore.
+RESTART_POLICIES = ("instant", "rolling")
+
+
+@dataclass
+class WindowState:
+    """Mutable scratchpad threaded through one window's phases."""
+
+    index: int
+    read_ratio: float
+    reconfigured: bool = False
+    degraded: bool = False
+    rolled_back: bool = False
+    retry_lost: float = 0.0
+    decision_rr: Optional[float] = None
+    target: Optional[Configuration] = None
+    rolling_report: Optional[RollingRestartReport] = None
+    steps: List = field(default_factory=list)
+    mean_throughput: float = 0.0
+    event: Optional[ControllerEvent] = None
+
+
+class TenantSession:
+    """Observe -> decide -> actuate -> canary loop for one tenant."""
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        rafiki,
+        adapter: DatastoreAdapter,
+        policy: DecisionPolicy,
+        *,
+        tenant_id: str = "tenant",
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        reconfiguration_penalty_s: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        canary_margin: Optional[float] = None,
+        canary_std_factor: float = 2.0,
+        events: Optional[EventBus] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        restart_policy: str = "instant",
+        passive_forecaster: Optional[RRForecaster] = None,
+        trace_phases: bool = False,
+    ):
+        if restart_policy not in RESTART_POLICIES:
+            raise SearchError(
+                f"unknown restart policy {restart_policy!r} "
+                f"(expected one of {RESTART_POLICIES})"
+            )
+        if canary_margin is not None:
+            if not (0.0 <= canary_margin < 1.0):
+                raise SearchError("canary_margin must be in [0, 1)")
+            if rafiki is not None and not hasattr(rafiki, "predicted_mean_std"):
+                raise SearchError(
+                    "canary guard needs a rafiki exposing predicted_mean_std"
+                )
+        if fault_plan is not None:
+            fault_plan.validate()
+        self.datastore = datastore
+        self.rafiki = rafiki
+        self.adapter = adapter
+        self.policy = policy
+        self.tenant_id = tenant_id
+        self.window_seconds = window_seconds
+        self.reconfiguration_penalty_s = reconfiguration_penalty_s
+        self.retry = retry or RetryPolicy()
+        self.canary_margin = canary_margin
+        self.canary_std_factor = canary_std_factor
+        self.events = events or EventBus()
+        self.fault_plan = fault_plan
+        self.restart_policy = restart_policy
+        self.passive_forecaster = passive_forecaster
+        self.trace_phases = trace_phases
+
+        self.phase: str = "created"
+        self.result = ControllerRun()
+        self._injector: Optional[FaultInjector] = None
+        self._window: Optional[WindowState] = None
+        self._window_index = 0
+        self._config: Optional[Configuration] = None
+        self._default_config: Optional[Configuration] = None
+        self._previous_rr: Optional[float] = None
+        self._ratio_baseline: Optional[float] = None   # EWMA of observed/predicted
+        self._pending_canary: Optional[Configuration] = None
+        self._redecide = False    # last window degraded: don't trust "hold"
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, load_keys: Optional[int] = None) -> "TenantSession":
+        """Provision the tenant's datastore and reset per-run state."""
+        self._default_config = self.datastore.default_configuration()
+        self._config = self._default_config
+        self.adapter.provision(load_keys=load_keys)
+        self._injector = (
+            FaultInjector(self.fault_plan, events=self.events)
+            if self.fault_plan is not None and not self.fault_plan.is_empty
+            else None
+        )
+        self.policy.reset()
+        self.result = ControllerRun()
+        self._window_index = 0
+        self._previous_rr = None
+        self._ratio_baseline = None
+        self._pending_canary = None
+        self._redecide = False
+        self._set_phase("idle")
+        return self
+
+    def finish(self, teardown: bool = True) -> ControllerRun:
+        """Close the session and return its :class:`ControllerRun`."""
+        if teardown:
+            self.adapter.teardown()
+        self._set_phase("done")
+        return self.result
+
+    @property
+    def windows_completed(self) -> int:
+        return len(self.result.events)
+
+    # -- one window ------------------------------------------------------------
+
+    def step(self, read_ratio: float) -> ControllerEvent:
+        """Drive one window through every phase; returns its event."""
+        self.begin_window(read_ratio)
+        while self._window is not None:
+            self.advance_phase()
+        return self.result.events[-1]
+
+    def begin_window(self, read_ratio: float) -> WindowState:
+        """Open a window; phases then advance one at a time."""
+        if self.phase == "created":
+            raise SearchError("session not started (call start() first)")
+        if self._window is not None:
+            raise SearchError(
+                f"window {self._window.index} still in phase {self.phase!r}"
+            )
+        self._window = WindowState(
+            index=self._window_index,
+            read_ratio=float(np.clip(read_ratio, 0.0, 1.0)),
+        )
+        self._set_phase("observe")
+        return self._window
+
+    def advance_phase(self) -> str:
+        """Execute the current phase; returns the next phase's name."""
+        if self._window is None:
+            raise SearchError("no open window (call begin_window first)")
+        handler = getattr(self, f"_phase_{self.phase}")
+        handler(self._window)
+        if self.phase == "record":
+            self._window = None
+            self._set_phase("idle")
+        else:
+            i = SESSION_PHASES.index(self.phase)
+            self._set_phase(SESSION_PHASES[i + 1])
+        return self.phase
+
+    # -- phases ----------------------------------------------------------------
+
+    def _phase_observe(self, ws: WindowState) -> None:
+        """Land this window's scheduled node/disk faults."""
+        if self._injector is not None:
+            self._injector.begin_window(ws.index, cluster=self.adapter.cluster)
+
+    def _phase_decide(self, ws: WindowState) -> None:
+        """Ask the policy, then search for the window's target config."""
+        if self.rafiki is None:
+            return
+        decision_rr = self.policy.decide(
+            WindowObservation(
+                index=ws.index,
+                read_ratio=ws.read_ratio,
+                previous_read_ratio=self._previous_rr,
+            )
+        )
+        if decision_rr is None and self._redecide:
+            # The previous window ended on a fallback config the policy
+            # believes was the intended one; hysteresis would hold
+            # forever.  Re-decide from the observed RR until a window
+            # completes healthy again.
+            decision_rr = ws.read_ratio
+        ws.decision_rr = decision_rr
+        if decision_rr is None:
+            return
+        target, lost, degraded = self._decide_target(ws.index, decision_rr)
+        ws.retry_lost += lost
+        ws.degraded = degraded
+        ws.target = target
+
+    def _phase_actuate(self, ws: WindowState) -> None:
+        """Push the target configuration, instantly or rolling."""
+        target = ws.target
+        if target is None or target == self._config:
+            return
+        pushed, lost = self._push(ws, target)
+        ws.retry_lost += lost
+        if pushed:
+            canary_on = self.canary_margin is not None and self.rafiki is not None
+            if canary_on and not ws.degraded:
+                self._pending_canary = self._config
+            self._config = target
+            ws.reconfigured = True
+        else:
+            ws.degraded = True
+            self._publish(
+                "controller.degraded",
+                f"config push failed (window {ws.index}); "
+                "keeping the current configuration",
+                reason="push",
+                window=ws.index,
+            )
+
+    def _phase_execute(self, ws: WindowState) -> None:
+        """Serve the window; downtime and backoff charge against it."""
+        self.policy.observe(ws.read_ratio)
+        if self.passive_forecaster is not None:
+            self.passive_forecaster.update(ws.read_ratio)
+        self._previous_rr = ws.read_ratio
+
+        duration = self.window_seconds
+        if ws.rolling_report is None:
+            # Proactive (forecast-driven) reconfiguration happens at the
+            # window boundary, overlapping idle time; reactive/oracle
+            # reconfiguration eats into the window.  Retry backoff is
+            # always in-window lost time.
+            lost = (
+                0.0
+                if (self.policy.proactive or not ws.reconfigured)
+                else self.reconfiguration_penalty_s
+            )
+            lost = min(lost + ws.retry_lost, duration)
+            ws.steps = self.adapter.run(ws.read_ratio, duration - lost, dt=1.0)
+        else:
+            # The rolling restart already consumed part of the window
+            # (its steps served real, reduced throughput); no flat
+            # penalty on top — the restart IS the reconfiguration cost.
+            consumed = min(ws.rolling_report.duration_s, duration)
+            lost = min(ws.retry_lost, duration - consumed)
+            remaining = duration - consumed - lost
+            ws.steps = list(ws.rolling_report.steps)
+            if remaining >= 1.0:
+                ws.steps += self.adapter.run(ws.read_ratio, remaining, dt=1.0)
+        window_ops = sum(s.throughput * s.dt for s in ws.steps)
+        ws.mean_throughput = window_ops / duration
+
+    def _phase_canary(self, ws: WindowState) -> None:
+        """Judge a canaried push against the surrogate's promise."""
+        if self.canary_margin is None or self.rafiki is None:
+            return
+        ws.rolled_back = self._canary_check(ws)
+
+    def _phase_record(self, ws: WindowState) -> None:
+        """Seal the window into the run summary."""
+        self._redecide = ws.degraded
+        ws.event = ControllerEvent(
+            window_index=ws.index,
+            read_ratio=ws.read_ratio,
+            reconfigured=ws.reconfigured,
+            configuration=self._config,
+            # Downtime counts against the window's mean.
+            mean_throughput=ws.mean_throughput,
+            rolled_back=ws.rolled_back,
+            degraded=ws.degraded,
+        )
+        self.result.events.append(ws.event)
+        self._window_index += 1
+
+    # -- resilient operations (ported verbatim from OnlineController) ----------
+
+    def _publish(self, topic: str, message: str, **payload) -> None:
+        self.events.publish(topic, message, **payload)
+
+    def _set_phase(self, phase: str) -> None:
+        self.phase = phase
+        if self.trace_phases:
+            window = self._window.index if self._window is not None else None
+            self._publish(
+                "session.phase", f"-> {phase}", phase=phase, window=window
+            )
+
+    def _attempt(
+        self, kind: str, window: int, fn: Callable[[], object]
+    ) -> Tuple[bool, object, float]:
+        """Run ``fn`` under the retry policy.
+
+        Returns ``(ok, result, lost_seconds)`` where ``lost_seconds`` is
+        the simulated backoff spent on retries.  Only
+        :class:`TransientError` is retried; anything else escapes.
+        """
+        lost = 0.0
+        backoff = self.retry.backoff_s
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                return True, fn(), lost
+            except TransientError:
+                out_of_budget = (
+                    attempt >= self.retry.max_attempts
+                    or lost + backoff > self.retry.deadline_s
+                )
+                if out_of_budget:
+                    return False, None, lost
+                self._publish(
+                    "controller.retry",
+                    f"{kind} failed (window {window}, attempt {attempt}); "
+                    f"retrying after {backoff:.1f}s",
+                    kind=kind,
+                    window=window,
+                    attempt=attempt,
+                    backoff_s=backoff,
+                )
+                lost += backoff
+                backoff *= self.retry.backoff_factor
+        return False, None, lost  # pragma: no cover - loop always returns
+
+    def _decide_target(
+        self, window: int, decision_rr: float
+    ) -> Tuple[Optional[Configuration], float, bool]:
+        """Search for the window's target config, surviving search faults.
+
+        Returns ``(target, lost_seconds, degraded)``; a ``None`` target
+        means "hold the current configuration".  A permanently failing
+        search degrades to the vendor default — the paper's baseline is
+        always a safe landing spot.
+        """
+
+        def do_search():
+            if self._injector is not None:
+                self._injector.check("search", window)
+            return self.rafiki.recommend(decision_rr)
+
+        ok, result, lost = self._attempt("search", window, do_search)
+        if ok:
+            return result.configuration, lost, False
+        self._publish(
+            "controller.degraded",
+            f"search unavailable (window {window}); "
+            "falling back to the default configuration",
+            reason="search",
+            window=window,
+        )
+        return self._default_config, lost, True
+
+    def _push(self, ws: WindowState, target: Configuration) -> Tuple[bool, float]:
+        """Push a configuration under the retry policy.
+
+        ``restart_policy="rolling"`` routes the push through the
+        adapter's rolling restart, recording the transient on the window
+        state; ``"instant"`` keeps the legacy teleport semantics (the
+        flat reconfiguration penalty is charged in EXECUTE).
+        """
+
+        def do_push():
+            if self._injector is not None:
+                self._injector.check("push", ws.index)
+            if self.restart_policy == "rolling":
+                ws.rolling_report = self.adapter.rolling_restart(
+                    target, ws.read_ratio
+                )
+            else:
+                self.adapter.apply_config(target)
+            return True
+
+        ok, _, lost = self._attempt("push", ws.index, do_push)
+        return ok, lost
+
+    def _revert_push(self, window: int, target: Configuration) -> bool:
+        """Emergency revert at the window boundary.
+
+        Always an instant apply, even under a rolling restart policy: a
+        failing canary means the fleet is underperforming *now*, so the
+        rollback must not spend another rolling transient.
+        """
+
+        def do_push():
+            if self._injector is not None:
+                self._injector.check("push", window)
+            self.adapter.apply_config(target)
+            return True
+
+        ok, _, _ = self._attempt("push", window, do_push)
+        return ok
+
+    def _canary_check(self, ws: WindowState) -> bool:
+        """The ratio-EWMA rollback guard (see OnlineController docs).
+
+        Unit-free: tracks the EWMA of the observed/predicted throughput
+        ratio (which absorbs the single-server-surrogate vs n-node-
+        cluster scale factor) and rolls back when a canary window's
+        ratio undershoots that baseline by more than ``canary_margin``
+        plus ``canary_std_factor`` times the ensemble's relative spread.
+        """
+        mean_pred, std_pred = self.rafiki.predicted_mean_std(
+            ws.read_ratio, self._config
+        )
+        if mean_pred <= 0.0:
+            self._pending_canary = None
+            return False
+        ratio = ws.mean_throughput / mean_pred
+        if self._pending_canary is None:
+            self._ratio_baseline = (
+                ratio
+                if self._ratio_baseline is None
+                else CANARY_RATIO_ALPHA * ratio
+                + (1.0 - CANARY_RATIO_ALPHA) * self._ratio_baseline
+            )
+            return False
+        if self._ratio_baseline is None:
+            # A push in the very first window has nothing to compare
+            # against; accept it as the baseline.
+            self._ratio_baseline = ratio
+            self._pending_canary = None
+            return False
+        tolerance = self.canary_margin + self.canary_std_factor * (
+            std_pred / mean_pred
+        )
+        allowed = self._ratio_baseline * max(0.0, 1.0 - tolerance)
+        if ratio >= allowed:
+            # Canary passed: fold the window into the baseline.
+            self._ratio_baseline = (
+                CANARY_RATIO_ALPHA * ratio
+                + (1.0 - CANARY_RATIO_ALPHA) * self._ratio_baseline
+            )
+            self._pending_canary = None
+            return False
+        # Canary failed: restore the previous configuration.  The revert
+        # happens at the window boundary (no penalty charged); the
+        # undershooting window is excluded from the baseline.
+        self._publish(
+            "controller.rollback",
+            f"canary undershot prediction (window {ws.index}): "
+            f"observed/predicted {ratio:.2f} < allowed {allowed:.2f}",
+            window=ws.index,
+            observed=ws.mean_throughput,
+            predicted=mean_pred,
+            ratio=ratio,
+            allowed=allowed,
+            baseline=self._ratio_baseline,
+        )
+        revert_to = self._pending_canary
+        self._pending_canary = None
+        if self._revert_push(ws.index, revert_to):
+            self._config = revert_to
+        else:
+            self._publish(
+                "controller.degraded",
+                f"rollback push failed (window {ws.index}); "
+                "keeping the canaried configuration",
+                reason="rollback-push",
+                window=ws.index,
+            )
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantSession({self.tenant_id!r}, phase={self.phase!r}, "
+            f"windows={self.windows_completed})"
+        )

@@ -25,7 +25,7 @@ from repro.runtime.backend import (
     resolve_backend,
 )
 from repro.runtime.deprecation import reset_deprecation_registry, warn_deprecated
-from repro.runtime.events import Event, EventBus, callback_subscriber
+from repro.runtime.events import Event, EventBus, ScopedEventBus, callback_subscriber
 
 __all__ = [
     "ExecutionBackend",
@@ -34,6 +34,7 @@ __all__ = [
     "resolve_backend",
     "Event",
     "EventBus",
+    "ScopedEventBus",
     "callback_subscriber",
     "warn_deprecated",
     "reset_deprecation_registry",

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["Event", "EventBus", "callback_subscriber"]
+__all__ = ["Event", "EventBus", "ScopedEventBus", "callback_subscriber"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +77,62 @@ class EventBus:
             if self._matches(subscription, topic):
                 handler(event)
         return event
+
+    def scoped(self, prefix: str) -> "ScopedEventBus":
+        """A view of this bus that namespaces every topic under ``prefix``.
+
+        ``bus.scoped("tenant.3").publish("controller.retry", ...)``
+        publishes ``tenant.3.controller.retry`` on this bus, so existing
+        publish sites (controller, fault injector, adapters) compose with
+        per-tenant prefixes without being rewritten.  Subscriptions made
+        through the scoped view are prefixed the same way; scopes nest
+        (``bus.scoped("a").scoped("b")`` is the ``a.b`` scope).
+        """
+        return ScopedEventBus(self, prefix)
+
+
+class ScopedEventBus:
+    """Prefix-namespacing view over a parent :class:`EventBus`.
+
+    Implements the same ``publish`` / ``subscribe`` / ``scoped`` surface,
+    so any component that takes an ``events=`` bus can transparently be
+    handed a tenant-scoped view.  All events land on the shared parent
+    bus (there is exactly one delivery loop per run), just under dotted
+    ``<prefix>.<topic>`` names.
+    """
+
+    def __init__(self, parent: EventBus, prefix: str):
+        if not prefix or prefix != prefix.strip("."):
+            raise ValueError(f"scope prefix must be a dotted name, got {prefix!r}")
+        if any(not part for part in prefix.split(".")):
+            raise ValueError(f"scope prefix has an empty segment: {prefix!r}")
+        # Collapse nested scopes onto the root bus so delivery is always
+        # a single hop regardless of scoping depth.
+        if isinstance(parent, ScopedEventBus):
+            prefix = f"{parent.prefix}.{prefix}"
+            parent = parent.parent
+        self.parent = parent
+        self.prefix = prefix
+
+    @property
+    def published_count(self) -> int:
+        return self.parent.published_count
+
+    def publish(self, topic: str, message: str = "", **payload: Any) -> Event:
+        full = f"{self.prefix}.{topic}" if topic else self.prefix
+        return self.parent.publish(full, message, **payload)
+
+    def subscribe(
+        self, handler: Callable[[Event], None], topic: Optional[str] = None
+    ) -> Callable[[], None]:
+        full = self.prefix if topic is None else f"{self.prefix}.{topic}"
+        return self.parent.subscribe(handler, topic=full)
+
+    def scoped(self, prefix: str) -> "ScopedEventBus":
+        return ScopedEventBus(self, prefix)
+
+    def __repr__(self) -> str:
+        return f"ScopedEventBus({self.prefix!r} on {self.parent!r})"
 
 
 def callback_subscriber(progress: Callable[[str], None]) -> Callable[[Event], None]:

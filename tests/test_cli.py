@@ -122,6 +122,56 @@ class TestReplay:
         assert rc == 0
 
 
+class TestServe:
+    MANIFEST = {
+        "defaults": {"hours": 0.25, "window_seconds": 60},
+        "tenants": [
+            {"id": "assembly", "seed": 1},
+            {"id": "annotation", "seed": 2},
+            {
+                "id": "archive",
+                "seed": 3,
+                "nodes": 3,
+                "restart_policy": "rolling",
+                "restart_seconds_per_node": 5,
+            },
+        ],
+    }
+
+    def test_serve_runs_a_manifest_fleet(self, artifacts, tmp_path, capsys):
+        _, surrogate = artifacts
+        manifest = tmp_path / "tenants.json"
+        manifest.write_text(json.dumps(self.MANIFEST))
+        rc = main(
+            [
+                "serve",
+                "--surrogate", str(surrogate),
+                "--manifest", str(manifest),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for tenant_id in ("assembly", "annotation", "archive"):
+            assert f"tenant {tenant_id}" in out
+        assert "node restarts" in out  # the rolling tenant reports its cost
+
+    def test_serve_rejects_bad_manifest(self, artifacts, tmp_path, capsys):
+        _, surrogate = artifacts
+        manifest = tmp_path / "bad.json"
+        manifest.write_text(json.dumps({"tenants": [{"id": "a", "oops": 1}]}))
+        rc = main(
+            [
+                "serve",
+                "--surrogate", str(surrogate),
+                "--manifest", str(manifest),
+                "--quiet",
+            ]
+        )
+        assert rc == 1
+        assert "unknown key" in capsys.readouterr().err
+
+
 class TestCharacterize:
     def test_outputs_characterization(self, capsys):
         rc = main(["characterize", "--hours", "4", "--queries", "300", "--seed", "5"])

@@ -1,0 +1,182 @@
+"""Actuation layer: provision parity, rolling restarts, lifecycle events."""
+
+import pytest
+
+from repro.datastore import CassandraLike
+from repro.datastore.adapter import SimulatedDatastoreAdapter
+from repro.errors import DatastoreError
+from repro.runtime import EventBus
+from repro.workload.spec import WorkloadSpec
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=100_000)
+
+
+class TestProvisionParity:
+    def test_single_node_matches_direct_construction(self, cassandra, workload):
+        """The adapter mints exactly the server _make_server used to."""
+        adapter = SimulatedDatastoreAdapter(
+            cassandra, profile=workload.to_profile(), seed=11
+        )
+        adapter.provision()
+        via_adapter = adapter.run(0.7, 30.0, dt=1.0)
+
+        direct = cassandra.new_analytic_instance(
+            cassandra.default_configuration(),
+            profile=workload.to_profile(),
+            seed=11,
+        )
+        reference = direct.run(0.7, 30.0, dt=1.0)
+        assert [s.throughput for s in via_adapter] == [
+            s.throughput for s in reference
+        ]
+
+    def test_multi_node_provisions_cluster(self, cassandra, workload):
+        adapter = SimulatedDatastoreAdapter(
+            cassandra,
+            n_nodes=3,
+            replication_factor=2,
+            profile=workload.to_profile(),
+            seed=4,
+        )
+        adapter.provision()
+        assert adapter.cluster is not None
+        assert adapter.cluster.n_nodes == 3
+        steps = adapter.run(0.5, 10.0, dt=1.0)
+        assert all(s.throughput > 0 for s in steps)
+
+    def test_run_before_provision_rejected(self, cassandra):
+        adapter = SimulatedDatastoreAdapter(cassandra)
+        with pytest.raises(DatastoreError):
+            adapter.run(0.5, 10.0)
+        with pytest.raises(DatastoreError):
+            adapter.apply_config(cassandra.default_configuration())
+
+    def test_bad_construction_rejected(self, cassandra):
+        with pytest.raises(DatastoreError):
+            SimulatedDatastoreAdapter(cassandra, n_nodes=0)
+        with pytest.raises(DatastoreError):
+            SimulatedDatastoreAdapter(cassandra, restart_seconds_per_node=-1.0)
+
+
+class TestApplyConfig:
+    def test_apply_config_updates_server_and_state(self, cassandra, workload):
+        adapter = SimulatedDatastoreAdapter(
+            cassandra, n_nodes=2, profile=workload.to_profile(), seed=0
+        )
+        adapter.provision()
+        target = cassandra.space.configuration(
+            compaction_method="LeveledCompactionStrategy"
+        )
+        adapter.apply_config(target)
+        assert adapter.config == target
+        assert adapter.cluster.config == target
+
+
+class TestRollingRestart:
+    def _target(self, cassandra):
+        return cassandra.space.configuration(file_cache_size_in_mb=2048)
+
+    def test_cluster_restart_charges_capacity_loss(self, cassandra, workload):
+        adapter = SimulatedDatastoreAdapter(
+            cassandra,
+            n_nodes=3,
+            profile=workload.to_profile(),
+            seed=2,
+            restart_seconds_per_node=5.0,
+        )
+        adapter.provision()
+        report = adapter.rolling_restart(self._target(cassandra), read_ratio=0.5)
+        assert report.nodes_restarted == 3
+        assert report.skipped_nodes == ()
+        assert report.duration_s == pytest.approx(15.0)
+        assert report.ops_lost > 0        # a degraded ring serves less
+        assert report.ops_served > 0      # ... but it does keep serving
+        assert len(report.steps) == 15
+        assert adapter.config == self._target(cassandra)
+        assert adapter.cluster.down_node_indices == []  # everyone came back
+
+    def test_already_down_node_is_skipped_not_resurrected(
+        self, cassandra, workload
+    ):
+        adapter = SimulatedDatastoreAdapter(
+            cassandra,
+            n_nodes=3,
+            profile=workload.to_profile(),
+            seed=2,
+            restart_seconds_per_node=5.0,
+        )
+        adapter.provision()
+        adapter.cluster.fail_node(1)
+        report = adapter.rolling_restart(self._target(cassandra), read_ratio=0.5)
+        assert report.nodes_restarted == 2
+        assert report.skipped_nodes == (1,)
+        assert adapter.cluster.down_node_indices == [1]  # still down
+
+    def test_single_node_restart_is_full_downtime(self, cassandra, workload):
+        adapter = SimulatedDatastoreAdapter(
+            cassandra,
+            profile=workload.to_profile(),
+            seed=2,
+            restart_seconds_per_node=10.0,
+        )
+        adapter.provision()
+        report = adapter.rolling_restart(self._target(cassandra), read_ratio=0.5)
+        assert report.nodes_restarted == 1
+        assert report.steps == []
+        assert report.ops_served == 0.0
+        assert report.duration_s == pytest.approx(10.0)
+        assert report.ops_lost > 0
+        assert adapter.config == self._target(cassandra)
+
+    def test_deterministic_given_seed(self, cassandra, workload):
+        def one_run():
+            adapter = SimulatedDatastoreAdapter(
+                cassandra,
+                n_nodes=3,
+                profile=workload.to_profile(),
+                seed=9,
+                restart_seconds_per_node=5.0,
+            )
+            adapter.provision()
+            return adapter.rolling_restart(self._target(cassandra), 0.6)
+
+        a, b = one_run(), one_run()
+        assert a.ops_lost == b.ops_lost
+        assert a.ops_served == b.ops_served
+        assert [s.throughput for s in a.steps] == [s.throughput for s in b.steps]
+
+
+class TestLifecycleEvents:
+    def test_actuation_topics_published(self, cassandra, workload):
+        events = EventBus()
+        seen = []
+        events.subscribe(seen.append, topic="actuate")
+        adapter = SimulatedDatastoreAdapter(
+            cassandra,
+            n_nodes=2,
+            profile=workload.to_profile(),
+            seed=0,
+            restart_seconds_per_node=2.0,
+            events=events,
+        )
+        adapter.provision()
+        adapter.rolling_restart(
+            cassandra.space.configuration(file_cache_size_in_mb=2048), 0.5
+        )
+        adapter.teardown()
+        assert [e.topic for e in seen] == [
+            "actuate.provision",
+            "actuate.rolling_restart",
+            "actuate.teardown",
+        ]
+        restart = seen[1]
+        assert restart.payload["nodes_restarted"] == 2
+        assert restart.payload["ops_lost"] >= 0

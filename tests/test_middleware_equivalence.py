@@ -1,0 +1,164 @@
+"""A single-tenant middleware run is bit-identical to the legacy controller.
+
+The contract: ``MiddlewareScheduler`` hosting exactly one tenant must
+reproduce the exact :class:`ControllerRun` of ``OnlineController.run()``
+on the same seed — same throughput floats, same reconfigure/rollback/
+degraded flags, same configurations, and the same ``controller.*`` /
+``fault.*`` / ``actuate.*`` event sequence (modulo the tenant-namespace
+prefix the scheduler adds).
+"""
+
+import pytest
+
+from repro.core.controller import OnlineController
+from repro.core.policies import HysteresisPolicy, OraclePolicy
+from repro.core.search import OptimizationResult
+from repro.datastore import CassandraLike
+from repro.faults import FaultPlan
+from repro.middleware import MiddlewareScheduler, TenantSpec
+from repro.runtime import EventBus
+from repro.workload.spec import WorkloadSpec
+
+SERIES = [0.1, 0.1, 0.9, 0.9, 0.3, 0.8, 0.8, 0.2]
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return WorkloadSpec(read_ratio=0.5, n_keys=100_000)
+
+
+class FakeRafiki:
+    """Deterministic recommender with a canary-compatible surface."""
+
+    def __init__(self, datastore):
+        self.datastore = datastore
+        self.calls = []
+
+    def recommend(self, read_ratio, use_cache=True):
+        self.calls.append(read_ratio)
+        if read_ratio >= 0.5:
+            config = self.datastore.space.configuration(
+                compaction_method="LeveledCompactionStrategy",
+                file_cache_size_in_mb=2048,
+            )
+        else:
+            config = self.datastore.default_configuration()
+        return OptimizationResult(
+            configuration=config,
+            predicted_throughput=0.0,
+            evaluations=1,
+            equivalent_wall_seconds=0.0,
+            strategy="fake",
+        )
+
+    def predicted_mean_std(self, read_ratio, configuration):
+        return 40_000.0 + 10_000.0 * read_ratio, 2_000.0
+
+
+def run_legacy(cassandra, workload, **kwargs):
+    events = EventBus()
+    log = []
+    events.subscribe(log.append)
+    controller = OnlineController(
+        cassandra,
+        FakeRafiki(cassandra),
+        workload,
+        window_seconds=60,
+        policy=HysteresisPolicy(OraclePolicy(), min_change=0.08),
+        seed=7,
+        events=events,
+        **kwargs,
+    )
+    return controller.run(SERIES, load=False), log
+
+
+def run_middleware(cassandra, workload, **kwargs):
+    events = EventBus()
+    log = []
+    events.subscribe(log.append)
+    scheduler = MiddlewareScheduler(cassandra, FakeRafiki(cassandra), events=events)
+    scheduler.add_tenant(
+        TenantSpec(
+            tenant_id="t0",
+            rr_series=SERIES,
+            base_workload=workload,
+            policy=HysteresisPolicy(OraclePolicy(), min_change=0.08),
+            window_seconds=60,
+            seed=7,
+            load=False,
+            **kwargs,
+        )
+    )
+    return scheduler.run()["t0"], log
+
+
+def assert_runs_identical(legacy, tenant):
+    assert len(legacy.events) == len(tenant.events)
+    for a, b in zip(legacy.events, tenant.events):
+        assert a.window_index == b.window_index
+        assert a.read_ratio == b.read_ratio
+        assert a.reconfigured == b.reconfigured
+        assert a.configuration == b.configuration
+        assert a.mean_throughput == b.mean_throughput  # bitwise
+        assert a.rolled_back == b.rolled_back
+        assert a.degraded == b.degraded
+    assert legacy.mean_throughput == tenant.mean_throughput
+
+
+def tenant_event_view(log, tenant_id="t0"):
+    """The tenant's events with the namespace stripped, scheduler noise out."""
+    prefix = f"tenant.{tenant_id}."
+    return [
+        (e.topic[len(prefix):], e.message)
+        for e in log
+        if e.topic.startswith(prefix)
+    ]
+
+
+class TestSingleTenantEquivalence:
+    def test_plain_run_is_bit_identical(self, cassandra, workload):
+        legacy, legacy_log = run_legacy(cassandra, workload)
+        tenant, mw_log = run_middleware(cassandra, workload)
+        assert_runs_identical(legacy, tenant)
+        legacy_view = [(e.topic, e.message) for e in legacy_log]
+        # The middleware teardown event is additive (the legacy shim
+        # keeps its server); everything before it must match exactly.
+        mw_view = [
+            pair
+            for pair in tenant_event_view(mw_log)
+            if pair[0] != "actuate.teardown"
+        ]
+        assert mw_view == legacy_view
+
+    def test_faulty_canaried_run_is_bit_identical(self, cassandra, workload):
+        plan = FaultPlan.generate(
+            seed=13,
+            n_windows=len(SERIES),
+            n_nodes=1,
+            slowdown_probability=0.0,
+            search_fault_probability=0.4,
+            push_fault_probability=0.4,
+        )
+        assert not plan.is_empty  # the seed must actually exercise faults
+        kwargs = dict(fault_plan=plan, canary_margin=0.05, canary_std_factor=0.0)
+        legacy, legacy_log = run_legacy(cassandra, workload, **kwargs)
+        tenant, mw_log = run_middleware(cassandra, workload, **kwargs)
+        assert_runs_identical(legacy, tenant)
+        legacy_view = [(e.topic, e.message) for e in legacy_log]
+        mw_view = [
+            pair
+            for pair in tenant_event_view(mw_log)
+            if pair[0] != "actuate.teardown"
+        ]
+        assert mw_view == legacy_view
+
+    def test_multinode_run_is_bit_identical(self, cassandra, workload):
+        kwargs = dict(n_nodes=3, replication_factor=2)
+        legacy, _ = run_legacy(cassandra, workload, **kwargs)
+        tenant, _ = run_middleware(cassandra, workload, **kwargs)
+        assert_runs_identical(legacy, tenant)

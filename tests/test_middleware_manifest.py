@@ -1,0 +1,158 @@
+"""Tenant manifests: parsing, defaults, validation, spec building."""
+
+import json
+import sys
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.middleware import load_manifest, parse_manifest, specs_from_manifest
+
+HAS_TOMLLIB = sys.version_info >= (3, 11)
+
+DOCUMENT = {
+    "defaults": {"hours": 1, "seed": 9, "window_seconds": 60},
+    "tenants": [
+        {"id": "assembly"},
+        {
+            "id": "annotation",
+            "mode": "forecast",
+            "seed": 2,
+            "nodes": 3,
+            "replication_factor": 2,
+            "restart_policy": "rolling",
+            "canary_margin": 0.2,
+            "fault_seed": 7,
+        },
+    ],
+}
+
+TOML_TEXT = """
+[defaults]
+hours = 1
+seed = 9
+window_seconds = 60
+
+[[tenants]]
+id = "assembly"
+
+[[tenants]]
+id = "annotation"
+mode = "forecast"
+seed = 2
+nodes = 3
+replication_factor = 2
+restart_policy = "rolling"
+canary_margin = 0.2
+fault_seed = 7
+"""
+
+
+class TestParsing:
+    def test_defaults_merge_under_tenant_overrides(self):
+        manifest = parse_manifest(DOCUMENT)
+        assert len(manifest) == 2
+        assembly, annotation = manifest.tenants
+        assert assembly["seed"] == 9          # from [defaults]
+        assert assembly["mode"] == "oracle"   # built-in default
+        assert annotation["seed"] == 2        # tenant override wins
+        assert annotation["window_seconds"] == 60
+
+    def test_json_file_roundtrip(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(DOCUMENT))
+        manifest = load_manifest(path)
+        assert [t["id"] for t in manifest.tenants] == ["assembly", "annotation"]
+        assert manifest.source == str(path)
+
+    @pytest.mark.skipif(not HAS_TOMLLIB, reason="tomllib needs Python 3.11+")
+    def test_toml_file_matches_json(self, tmp_path):
+        toml_path = tmp_path / "tenants.toml"
+        toml_path.write_text(TOML_TEXT)
+        assert load_manifest(toml_path).tenants == parse_manifest(DOCUMENT).tenants
+
+    @pytest.mark.skipif(HAS_TOMLLIB, reason="covers Python < 3.11 only")
+    def test_toml_without_tomllib_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "tenants.toml"
+        path.write_text(TOML_TEXT)
+        with pytest.raises(PersistenceError, match="JSON"):
+            load_manifest(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_manifest(tmp_path / "nope.json")
+
+    def test_malformed_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(PersistenceError, match="malformed"):
+            load_manifest(path)
+
+
+class TestValidation:
+    def test_unknown_section_rejected(self):
+        with pytest.raises(PersistenceError, match="unknown section"):
+            parse_manifest({"tenants": [{"id": "a"}], "tennants": []})
+
+    def test_unknown_default_key_rejected(self):
+        with pytest.raises(PersistenceError, match="unknown default key"):
+            parse_manifest({"defaults": {"sede": 1}, "tenants": [{"id": "a"}]})
+
+    def test_unknown_tenant_key_rejected(self):
+        with pytest.raises(PersistenceError, match="unknown key"):
+            parse_manifest({"tenants": [{"id": "a", "node": 3}]})
+
+    def test_empty_tenant_list_rejected(self):
+        with pytest.raises(PersistenceError, match="non-empty"):
+            parse_manifest({"tenants": []})
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(PersistenceError, match="'id'"):
+            parse_manifest({"tenants": [{"seed": 1}]})
+
+    def test_duplicate_id_rejected(self):
+        with pytest.raises(PersistenceError, match="duplicate"):
+            parse_manifest({"tenants": [{"id": "a"}, {"id": "a"}]})
+
+    def test_id_not_settable_from_defaults(self):
+        with pytest.raises(PersistenceError, match="unknown default key"):
+            parse_manifest({"defaults": {"id": "a"}, "tenants": [{"id": "b"}]})
+
+
+class TestSpecBuilding:
+    def test_specs_reflect_manifest(self):
+        specs = specs_from_manifest(parse_manifest(DOCUMENT))
+        assert [s.tenant_id for s in specs] == ["assembly", "annotation"]
+        assembly, annotation = specs
+        assert assembly.n_nodes == 1
+        assert assembly.fault_plan is None
+        # 1 hour of 60 s windows.
+        assert len(assembly.rr_series) == 60
+        assert annotation.n_nodes == 3
+        assert annotation.restart_policy == "rolling"
+        assert annotation.canary_margin == 0.2
+        assert annotation.fault_plan is not None
+
+    def test_hours_override_shortens_every_series(self):
+        specs = specs_from_manifest(parse_manifest(DOCUMENT), hours=0.5)
+        assert all(len(s.rr_series) == 30 for s in specs)
+
+    def test_per_tenant_traces_differ_by_seed(self):
+        specs = specs_from_manifest(parse_manifest(DOCUMENT))
+        assert list(specs[0].rr_series) != list(specs[1].rr_series)
+
+    def test_invalid_spec_names_the_tenant(self):
+        document = {
+            "tenants": [{"id": "bad", "fault_seed": 3, "nodes": 1, "hours": 1}]
+        }
+        # A 1-node tenant whose generated plan contains node-level
+        # faults must fail with the tenant named.
+        try:
+            specs_from_manifest(parse_manifest(document))
+        except PersistenceError as exc:
+            assert "bad" in str(exc)
+
+    def test_wrong_typed_value_names_the_tenant(self):
+        document = {"tenants": [{"id": "typo", "nodes": "three", "hours": 1}]}
+        with pytest.raises(PersistenceError, match="typo"):
+            specs_from_manifest(parse_manifest(document))

@@ -1,6 +1,8 @@
-"""EventBus: topic matching, unsubscribe, legacy callback adapter."""
+"""EventBus: topic matching, unsubscribe, scoping, legacy callback adapter."""
 
-from repro.runtime import EventBus, callback_subscriber
+import pytest
+
+from repro.runtime import EventBus, ScopedEventBus, callback_subscriber
 
 
 class TestEventBus:
@@ -56,6 +58,67 @@ class TestEventBus:
         bus = EventBus()
         assert str(bus.publish("t", "msg")) == "[t] msg"
         assert str(bus.publish("t")) == "[t]"
+
+
+class TestScopedEventBus:
+    def test_publish_is_prefixed(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        scoped = bus.scoped("tenant.3")
+        event = scoped.publish("controller.retry", "again", attempt=1)
+        assert event.topic == "tenant.3.controller.retry"
+        assert [e.topic for e in seen] == ["tenant.3.controller.retry"]
+        assert event.payload == {"attempt": 1}
+
+    def test_empty_topic_publishes_the_prefix(self):
+        bus = EventBus()
+        assert bus.scoped("tenant.a").publish("").topic == "tenant.a"
+
+    def test_subscribe_sees_only_own_namespace(self):
+        bus = EventBus()
+        seen = []
+        bus.scoped("tenant.a").subscribe(seen.append, topic="controller")
+        bus.publish("tenant.a.controller.rollback")
+        bus.publish("tenant.b.controller.rollback")
+        bus.publish("tenant.a.fault.crash")
+        assert [e.topic for e in seen] == ["tenant.a.controller.rollback"]
+
+    def test_subscribe_all_scopes_to_prefix(self):
+        bus = EventBus()
+        seen = []
+        bus.scoped("tenant.a").subscribe(seen.append)
+        bus.publish("tenant.a.x")
+        bus.publish("tenant.b.x")
+        assert [e.topic for e in seen] == ["tenant.a.x"]
+
+    def test_nested_scopes_flatten(self):
+        bus = EventBus()
+        scoped = bus.scoped("tenant.a").scoped("canary")
+        assert isinstance(scoped, ScopedEventBus)
+        assert scoped.parent is bus
+        assert scoped.publish("check").topic == "tenant.a.canary.check"
+
+    def test_published_count_is_shared(self):
+        bus = EventBus()
+        scoped = bus.scoped("t")
+        bus.publish("a")
+        scoped.publish("b")
+        assert scoped.published_count == bus.published_count == 2
+
+    def test_unsubscribe_roundtrip(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.scoped("t").subscribe(seen.append)
+        bus.publish("t.x")
+        unsubscribe()
+        bus.publish("t.y")
+        assert len(seen) == 1
+
+    @pytest.mark.parametrize("bad", ["", ".", "a..b", ".a", "a."])
+    def test_invalid_prefix_rejected(self, bad):
+        with pytest.raises(ValueError):
+            EventBus().scoped(bad)
 
 
 class TestCallbackAdapter:
