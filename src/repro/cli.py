@@ -366,7 +366,9 @@ def cmd_serve(args) -> int:
             lambda e: print(f"   {e.message}"),
             topic="scheduler",
         )
-    scheduler = MiddlewareScheduler(datastore, rafiki, events=events)
+    scheduler = MiddlewareScheduler(
+        datastore, rafiki, events=events, workers=args.workers
+    )
     for spec in specs:
         scheduler.add_tenant(spec)
     results = scheduler.run()
@@ -546,7 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run a multi-tenant campaign from a tenant manifest",
-        parents=[datastore_p, seed_p, quiet_p],
+        parents=[datastore_p, seed_p, workers_p, quiet_p],
     )
     p.add_argument("--surrogate", required=True, help="shared surrogate JSON path")
     p.add_argument(

@@ -22,12 +22,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
 from repro.datastore.cluster import Cluster
 from repro.errors import DatastoreError
-from repro.lsm.analytic import WorkloadProfile
-from repro.sim.rng import SeedLike
+from repro.lsm.analytic import StepResult, WorkloadProfile
+from repro.lsm.engine import OP_READ
+from repro.sim.rng import SeedLike, derive_rng
+from repro.workload.generator import OperationGenerator
+from repro.workload.spec import WorkloadSpec
+
+#: How a :class:`SimulatedDatastoreAdapter` executes its tenant's load.
+EXECUTION_MODES = ("analytic", "engine")
 
 #: Simulated seconds one node needs to restart with a new configuration.
 #: Rafiki's targets restart in tens of seconds (JVM warmup for Cassandra,
@@ -80,6 +88,105 @@ class DatastoreAdapter:
         raise NotImplementedError
 
 
+class _EngineServer:
+    """Materialized-engine substrate behind the adapter's server protocol.
+
+    Drives a real :class:`~repro.lsm.engine.LSMEngine` through vectorized
+    :class:`~repro.workload.generator.OperationBatch` blocks
+    (``execute_batch``) and reports :class:`~repro.lsm.analytic.StepResult`
+    entries, so the :class:`TenantSession` execute phase and window
+    accounting consume engine-mode windows exactly as analytic ones.
+    Batches are sized from the last observed rate so a ``run(duration)``
+    call overshoots its window boundary by at most one small block.
+    """
+
+    #: Ops per execute_batch block: large enough to amortize numpy setup.
+    BATCH_OPS = 4096
+    #: Block size used before any throughput estimate exists.
+    PROBE_OPS = 512
+
+    def __init__(
+        self,
+        datastore: Datastore,
+        config: Configuration,
+        workload: WorkloadSpec,
+        seed: SeedLike = 0,
+    ):
+        self.workload = workload
+        self.engine = datastore.new_engine_instance(config)
+        self.generator = OperationGenerator(workload, derive_rng(seed))
+        self._ops_per_second: Optional[float] = None
+
+    def load(self, n_keys: int) -> None:
+        """YCSB load phase: ``n_keys`` fresh inserts, as one batch."""
+        block = self.generator.load_batch(n_keys)
+        self.engine.execute_batch(block.kinds, block.key_names(), block.value_sizes)
+
+    def settle(self, max_seconds: float = 600.0, dt: float = 1.0) -> None:
+        self.engine.idle_until_compact(max_seconds=max_seconds)
+
+    def run(self, read_ratio: float, duration: float, dt: float = 1.0) -> List[StepResult]:
+        """Serve ``duration`` simulated seconds of the op stream."""
+        steps: List[StepResult] = []
+        clock = self.engine.clock
+        t_end = clock.now + duration
+        while clock.now < t_end:
+            n = self._next_batch_ops(t_end - clock.now)
+            block = self.generator.operation_batch(n, read_ratio=read_ratio)
+            t0 = clock.now
+            self.engine.execute_batch(
+                block.kinds, block.key_names(), block.value_sizes
+            )
+            elapsed = clock.now - t0
+            if elapsed <= 0.0:  # defensive: a zero-advance block would spin
+                break
+            self._ops_per_second = n / elapsed
+            reads = int(np.count_nonzero(block.kinds == OP_READ))
+            steps.append(
+                StepResult(
+                    t=clock.now,
+                    dt=elapsed,
+                    throughput=n / elapsed,
+                    reads=float(reads),
+                    writes=float(n - reads),
+                    sstable_count=self.engine.sstable_count,
+                    cache_hit_ratio=self.engine.cache.hit_ratio,
+                    compaction_backlog_bytes=self.engine.compaction_backlog_bytes,
+                )
+            )
+        return steps
+
+    def _next_batch_ops(self, remaining_seconds: float) -> int:
+        if self._ops_per_second is None:
+            return self.PROBE_OPS
+        target = self._ops_per_second * remaining_seconds
+        return int(min(self.BATCH_OPS, max(64.0, target)))
+
+    def reconfigure(self, knobs) -> None:
+        self.engine.reconfigure(knobs)
+
+    def sustainable_throughput(self, read_ratio: float) -> float:
+        """Capacity estimate for restart accounting.
+
+        The engine has no closed-form bottleneck equation, so the last
+        observed batch rate stands in; a server that has not yet served
+        traffic runs one probe block (at the given mix) to measure it.
+        """
+        if self._ops_per_second is None:
+            block = self.generator.operation_batch(
+                self.PROBE_OPS, read_ratio=read_ratio
+            )
+            t0 = self.engine.clock.now
+            self.engine.execute_batch(
+                block.kinds, block.key_names(), block.value_sizes
+            )
+            elapsed = self.engine.clock.now - t0
+            if elapsed <= 0.0:
+                raise DatastoreError("engine probe did not advance time")
+            self._ops_per_second = self.PROBE_OPS / elapsed
+        return self._ops_per_second
+
+
 class SimulatedDatastoreAdapter(DatastoreAdapter):
     """Adapter over the simulated substrate (analytic model / Cluster).
 
@@ -88,6 +195,12 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
     per node, exactly as ``OnlineController._make_server`` did — a
     single-tenant middleware run stays bit-identical to the legacy
     controller.
+
+    ``execution="engine"`` swaps the analytic substrate for a
+    materialized :class:`~repro.lsm.engine.LSMEngine` fed by the
+    vectorized op-stream path (:class:`_EngineServer`); it requires a
+    ``workload`` spec (the op generator needs the full key/value shape,
+    not just the profile) and is single-node only.
     """
 
     def __init__(
@@ -101,11 +214,29 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
         seed: SeedLike = 0,
         restart_seconds_per_node: float = RESTART_SECONDS_PER_NODE,
         events=None,
+        execution: str = "analytic",
+        workload: Optional[WorkloadSpec] = None,
     ):
         if n_nodes < 1:
             raise DatastoreError("adapter needs n_nodes >= 1")
         if restart_seconds_per_node < 0:
             raise DatastoreError("restart_seconds_per_node must be >= 0")
+        if execution not in EXECUTION_MODES:
+            raise DatastoreError(
+                f"unknown execution mode {execution!r} "
+                f"(expected one of {EXECUTION_MODES})"
+            )
+        if execution == "engine":
+            if n_nodes != 1:
+                raise DatastoreError(
+                    "engine execution is single-node (the materialized "
+                    "engine has no ring); use n_nodes=1 or execution='analytic'"
+                )
+            if workload is None:
+                raise DatastoreError(
+                    "engine execution needs a workload= spec to drive the "
+                    "operation generator"
+                )
         self.datastore = datastore
         self.config = initial_config or datastore.default_configuration()
         self.n_nodes = n_nodes
@@ -114,6 +245,8 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
         self.seed = seed
         self.restart_seconds_per_node = restart_seconds_per_node
         self.events = events
+        self.execution = execution
+        self.workload = workload
         self.server = None
         self.cluster: Optional[Cluster] = None
 
@@ -121,7 +254,12 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
 
     def provision(self, load_keys: Optional[int] = None,
                   settle_seconds: Optional[float] = None):
-        if self.n_nodes == 1:
+        if self.execution == "engine":
+            self.server = _EngineServer(
+                self.datastore, self.config, self.workload, seed=self.seed
+            )
+            self.cluster = None
+        elif self.n_nodes == 1:
             self.server = self.datastore.new_analytic_instance(
                 self.config, profile=self.profile, seed=self.seed
             )

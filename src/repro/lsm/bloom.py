@@ -9,13 +9,18 @@ bit-array implementation sized from the target false-positive rate.
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
 
 # A simple 64-bit FNV-1a; two independent hashes are derived per key and
 # combined (Kirsch-Mitzenmacher) into k hash functions.
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = (1 << 64) - 1
+
+_H1_SEED = 0x9E3779B9
+_H2_SEED = 0x85EBCA6B
 
 
 def _fnv1a(data: bytes, seed: int = 0) -> int:
@@ -24,6 +29,40 @@ def _fnv1a(data: bytes, seed: int = 0) -> int:
         h ^= b
         h = (h * _FNV_PRIME) & _MASK64
     return h
+
+
+def hash_keys(names: np.ndarray) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Vectorized (h1, h2) FNV-1a pair for a batch of ASCII key strings.
+
+    ``names`` is a numpy unicode (``<U``) array.  Returns uint64 arrays
+    bitwise-identical to the scalar :func:`_fnv1a` pair used by
+    :meth:`BloomFilter._positions`, or ``None`` when the batch contains
+    non-ASCII characters or embedded NULs (callers fall back to the
+    scalar path — correctness never depends on vectorization).
+    """
+    if names.size == 0 or names.dtype.kind != "U":
+        return None
+    width = names.dtype.itemsize // 4
+    codes = names.view(np.uint32).reshape(names.size, width)
+    if codes.max(initial=0) > 127:
+        return None  # multi-byte UTF-8: byte stream != code points
+    nonzero = codes != 0
+    # Keys must be a contiguous run of characters followed by padding:
+    # an embedded NUL would corrupt the length computation below.
+    if nonzero.shape[1] > 1 and not bool(np.all(nonzero[:, :-1] >= nonzero[:, 1:])):
+        return None
+    lengths = nonzero.sum(axis=1)
+    codes64 = codes.astype(np.uint64)
+    prime = np.uint64(_FNV_PRIME)
+    h1 = np.full(names.size, _FNV_OFFSET ^ _H1_SEED, dtype=np.uint64)
+    h2 = np.full(names.size, _FNV_OFFSET ^ _H2_SEED, dtype=np.uint64)
+    with np.errstate(over="ignore"):  # uint64 wrap-around is the FNV mask
+        for j in range(width):
+            active = j < lengths
+            b = codes64[:, j]
+            h1 = np.where(active, (h1 ^ b) * prime, h1)
+            h2 = np.where(active, (h2 ^ b) * prime, h2)
+    return h1, h2 | np.uint64(1)
 
 
 class BloomFilter:
@@ -47,8 +86,12 @@ class BloomFilter:
     def from_keys(cls, keys: Iterable[str], fp_chance: float) -> "BloomFilter":
         keys = list(keys)
         bf = cls(expected_items=max(len(keys), 1), fp_chance=fp_chance)
-        for k in keys:
-            bf.add(k)
+        hashed = hash_keys(np.asarray(keys)) if keys else None
+        if hashed is None:
+            for k in keys:
+                bf.add(k)
+        else:
+            bf.add_many(*hashed)
         return bf
 
     def _positions(self, key: str):
@@ -63,9 +106,49 @@ class BloomFilter:
             self._bits[pos >> 3] |= 1 << (pos & 7)
         self.n_items += 1
 
+    def add_many(self, h1: np.ndarray, h2: np.ndarray) -> None:
+        """Bulk :meth:`add` of pre-hashed keys (see :func:`hash_keys`).
+
+        Produces a bit array identical to adding the keys one at a time:
+        the same Kirsch-Mitzenmacher positions are derived, and setting
+        bits is an OR, so order and duplicates cannot change the result.
+        """
+        bits = np.frombuffer(self._bits, dtype=np.uint8)
+        with np.errstate(over="ignore"):  # uint64 wrap == the scalar & MASK64
+            pos = (
+                h1[:, None] + self._hash_indices() * h2[:, None]
+            ) % np.uint64(self.n_bits)
+        np.bitwise_or.at(
+            bits,
+            (pos >> np.uint64(3)).astype(np.int64).ravel(),
+            (np.uint8(1) << (pos & np.uint64(7)).astype(np.uint8)).ravel(),
+        )
+        self.n_items += len(h1)
+
+    def _hash_indices(self) -> np.ndarray:
+        """The ``0..k-1`` Kirsch-Mitzenmacher row, shaped for broadcast."""
+        return np.arange(self.n_hashes, dtype=np.uint64)[None, :]
+
     def might_contain(self, key: str) -> bool:
         """True if the key *may* be present (false positives possible)."""
         return all(self._bits[p >> 3] & (1 << (p & 7)) for p in self._positions(key))
+
+    def might_contain_many(self, h1: np.ndarray, h2: np.ndarray) -> np.ndarray:
+        """Batch membership test over pre-hashed keys (see :func:`hash_keys`).
+
+        Returns a bool array bitwise-identical to mapping
+        :meth:`might_contain` over the corresponding keys: the same
+        Kirsch-Mitzenmacher positions are derived and the same bits
+        tested, just across the whole batch per hash index.
+        """
+        bits = np.frombuffer(self._bits, dtype=np.uint8)
+        with np.errstate(over="ignore"):  # uint64 wrap == the scalar & MASK64
+            pos = (
+                h1[:, None] + self._hash_indices() * h2[:, None]
+            ) % np.uint64(self.n_bits)
+        byte = bits[(pos >> np.uint64(3)).astype(np.int64)]
+        hit = (byte >> (pos & np.uint64(7)).astype(np.uint8)) & 1 > 0
+        return hit.all(axis=1)
 
     def __contains__(self, key: str) -> bool:
         return self.might_contain(key)

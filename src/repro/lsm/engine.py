@@ -11,11 +11,14 @@ foreground queries exactly as the paper describes (§2.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set
 from collections import deque
+
+import numpy as np
 
 from repro.config.cassandra import LEVELED
 from repro.errors import DatastoreError, PersistenceError
+from repro.lsm.bloom import hash_keys
 from repro.lsm.commitlog import CommitLog
 from repro.lsm.compaction import (
     CompactionTask,
@@ -24,7 +27,7 @@ from repro.lsm.compaction import (
 )
 from repro.lsm.knobs import EngineKnobs
 from repro.lsm.memtable import Memtable
-from repro.lsm.record import Record
+from repro.lsm.record import RECORD_OVERHEAD_BYTES, Record
 from repro.lsm.sstable import SSTable, merge_records, split_into_tables
 from repro.sim.cache import LruFileCache
 from repro.sim.clock import SimClock
@@ -35,6 +38,7 @@ from repro.sim.costs import (
     DEFAULT_COSTS,
     commitlog_bytes_per_write,
     read_cpu_seconds,
+    read_cpu_seconds_array,
     thread_contention,
     write_cpu_seconds,
 )
@@ -49,6 +53,36 @@ COMPACTOR_STREAM_BYTES = 45 * 1024 * 1024
 LEVELED_MIN_COMPACTION_BYTES = 64 * 1024 * 1024
 #: Flush queue depth (in flush sizes) beyond which writes stall.
 FLUSH_STALL_DEPTH = 2.0
+
+#: Integer op-kind codes for vectorized operation blocks.  They live here
+#: (not in :mod:`repro.workload`) because the import DAG runs lsm ->
+#: workload: the workload generator emits these codes and the engine
+#: consumes them without either layer reaching upward.
+OP_READ = 0
+OP_WRITE = 1
+OP_DELETE = 2
+
+#: Below this run length the vectorized probe's numpy setup costs more
+#: than it saves; the scalar path is used (the two paths are state- and
+#: stats-identical, so the threshold is purely a performance choice).
+_MIN_VECTOR_PROBE = 8
+#: Below this many ops, a mutation run's numpy setup costs more than the
+#: scalar loop it replaces.
+_MIN_VECTOR_MUTATION_RUN = 8
+
+
+@dataclass
+class BatchResult:
+    """Accounting for one :meth:`LSMEngine.execute_batch` call."""
+
+    n_ops: int
+    reads: int
+    writes: int
+    deletes: int
+    start_time: float
+    #: Simulated clock value after each op — exactly the trajectory the
+    #: scalar loop's ``clock.now`` would have traced (bit-identical).
+    end_times: np.ndarray
 
 
 @dataclass
@@ -216,6 +250,179 @@ class LSMEngine:
 
         return best, cpu_blooms, cpu_probes, cpu_cache_hits, disk_reads
 
+    def _probe_block(self, keys: Sequence[str], pre=None):
+        """Probe a block of keys without charging time.
+
+        Returns ``(best_records, blooms, probes, cache_hits, disk_reads)``
+        where the first is a list of winning records (None if absent) and
+        the rest are per-key int64 tallies.  Dispatches to a vectorized
+        probe when the batch is worth it and the keys hash cleanly;
+        otherwise loops :meth:`_probe_newest`.  ``pre`` carries
+        ``(names, h1, h2)`` sliced from a whole-batch hash pass, so short
+        same-kind runs inside a large batch skip the per-run hashing
+        setup.  Both paths leave the engine (stats, LRU cache order,
+        disk counters) in the *same* state: probing advances no
+        simulated time, so the layout and memtable are frozen for the
+        duration regardless of background work.
+        """
+        if self.layout.table_count > 0:
+            if pre is not None:
+                names, h1, h2 = pre
+                return self._probe_block_vector(keys, names, h1, h2)
+            if len(keys) >= _MIN_VECTOR_PROBE:
+                names = np.asarray(keys)
+                hashed = hash_keys(names)
+                if hashed is not None:
+                    return self._probe_block_vector(keys, names, *hashed)
+            return self._probe_block_scalar(keys)
+        # No SSTables: every probe is a pure memtable lookup with zero
+        # bloom/cache/disk traffic, so skip the per-key tally loop (the
+        # tallies may share one zeros array — callers only read them).
+        stats = self.stats
+        stats.reads += len(keys)
+        memtable_get = self.memtable.get
+        best = [memtable_get(k) for k in keys]
+        stats.memtable_hits += sum(r is not None for r in best)
+        zeros = np.zeros(len(keys), dtype=np.int64)
+        return best, zeros, zeros, zeros, zeros
+
+    def _probe_block_scalar(self, keys: Sequence[str]):
+        n = len(keys)
+        best: List[Optional[Record]] = [None] * n
+        blooms = np.zeros(n, dtype=np.int64)
+        probes = np.zeros(n, dtype=np.int64)
+        hits = np.zeros(n, dtype=np.int64)
+        disk = np.zeros(n, dtype=np.int64)
+        for i, key in enumerate(keys):
+            rec, b, p, h, d = self._probe_newest(key)
+            best[i] = rec
+            blooms[i] = b
+            probes[i] = p
+            hits[i] = h
+            disk[i] = d
+        return best, blooms, probes, hits, disk
+
+    def _probe_block_vector(self, keys, names, h1, h2):
+        """Vectorized :meth:`_probe_block_scalar`.
+
+        Bloom hashing, range assignment, and index lookups run across the
+        whole batch with numpy; only the LRU cache replay stays a Python
+        loop, and it walks bloom-positive (key, candidate) events in
+        exactly the scalar order — (key position, candidate rank) — so
+        cache contents, hit/miss tallies, and every stats counter finish
+        bit-identical to the scalar loop.
+        """
+        n = len(keys)
+        stats = self.stats
+        stats.reads += n
+
+        best: List[Optional[Record]] = [None] * n
+        for i, key in enumerate(keys):
+            mem_rec = self.memtable.get(key)
+            if mem_rec is not None:
+                stats.memtable_hits += 1
+                best[i] = mem_rec
+
+        blooms = np.zeros(n, dtype=np.int64)
+        probes = np.zeros(n, dtype=np.int64)
+        hits = np.zeros(n, dtype=np.int64)
+        disk = np.zeros(n, dtype=np.int64)
+
+        # Bloom-positive (key, candidate) events, accumulated per table
+        # then replayed sequentially against the cache.
+        tables: List[SSTable] = []
+        key_chunks: List[np.ndarray] = []
+        rank_chunks: List[np.ndarray] = []
+        table_chunks: List[np.ndarray] = []
+        block_chunks: List[np.ndarray] = []
+        recidx_chunks: List[np.ndarray] = []
+
+        def positive_chunk(table: SSTable, sub: np.ndarray, rank: int) -> None:
+            karr = table.keys_array()
+            idx = np.searchsorted(karr, names[sub])
+            clamped = np.minimum(idx, len(karr) - 1)
+            found = (idx < len(karr)) & (karr[clamped] == names[sub])
+            t_pos = len(tables)
+            tables.append(table)
+            key_chunks.append(sub)
+            rank_chunks.append(np.full(len(sub), rank, dtype=np.int64))
+            table_chunks.append(np.full(len(sub), t_pos, dtype=np.int64))
+            block_chunks.append(table.block_of_many(clamped))
+            recidx_chunks.append(np.where(found, idx, -1))
+
+        levels = self.layout.levels
+        # L0: every table is a candidate for every key (newest first);
+        # the range check lives inside might_contain, after the bloom
+        # counter — exactly as the scalar probe sees it.
+        l0 = list(reversed(levels[0])) if levels else []
+        for rank, table in enumerate(l0):
+            blooms += 1
+            in_range = np.flatnonzero(
+                (names >= table.min_key) & (names <= table.max_key)
+            )
+            if len(in_range) == 0:
+                continue
+            ok = table.bloom.might_contain_many(h1[in_range], h2[in_range])
+            sub = in_range[ok]
+            if len(sub):
+                positive_chunk(table, sub, rank)
+        # Levels >= 1: the candidate is the *first* range-matching table
+        # in min_key order (read_candidates breaks on a match).  Tables
+        # can transiently overlap mid-compaction, so a first-match sweep
+        # over the level's few tables is required, not a searchsorted.
+        for li in range(1, len(levels)):
+            level = levels[li]
+            if not level:
+                continue
+            rank = len(l0) + li - 1
+            unassigned = np.ones(n, dtype=bool)
+            for table in level:
+                matched = np.flatnonzero(
+                    unassigned & (names >= table.min_key) & (names <= table.max_key)
+                )
+                if len(matched) == 0:
+                    continue
+                unassigned[matched] = False
+                blooms[matched] += 1
+                ok = table.bloom.might_contain_many(h1[matched], h2[matched])
+                sub = matched[ok]
+                if len(sub):
+                    positive_chunk(table, sub, rank)
+
+        stats.bloom_checks += int(blooms.sum())
+
+        if key_chunks:
+            key_all = np.concatenate(key_chunks)
+            rank_all = np.concatenate(rank_chunks)
+            table_all = np.concatenate(table_chunks)
+            block_all = np.concatenate(block_chunks)
+            recidx_all = np.concatenate(recidx_chunks)
+            # Replay order: key position first, candidate rank second —
+            # the exact sequence the scalar loop feeds the LRU cache.
+            order = np.lexsort((rank_all, key_all))
+            cache = self.cache
+            for e in order:
+                i = int(key_all[e])
+                table = tables[int(table_all[e])]
+                probes[i] += 1
+                stats.tables_probed += 1
+                if cache.access((table.table_id, int(block_all[e]))):
+                    hits[i] += 1
+                    stats.cache_hits += 1
+                else:
+                    disk[i] += 1
+                    stats.cache_misses += 1
+                ridx = int(recidx_all[e])
+                if ridx < 0:
+                    continue  # bloom false positive
+                rec = table.record_at(ridx)
+                stats.bloom_true_positives += 1
+                cur = best[i]
+                if cur is None or rec.supersedes(cur):
+                    best[i] = rec
+
+        return best, blooms, probes, hits, disk
+
     def _read_newest(self, key: str) -> Optional[Record]:
         """One point read, charged as one op."""
         best, blooms, probes, cache_hits, disk_reads = self._probe_newest(key)
@@ -245,24 +452,305 @@ class LSMEngine:
         """
         keys = list(keys)
         out: Dict[str, Optional[bytes]] = {}
-        blooms = probes = cache_hits = disk_reads = 0
-        for key in keys:
-            best, b, p, h, d = self._probe_newest(key)
-            blooms += b
-            probes += p
-            cache_hits += h
-            disk_reads += d
-            out[key] = None if best is None or best.is_tombstone else best.value
-        if keys:
-            cpu = read_cpu_seconds(blooms, probes, cache_hits, self.costs)
-            self._advance_for_op(
-                cpu_seconds=cpu,
-                seq_bytes=0.0,
-                random_reads=disk_reads,
-                hold_seconds=self.costs.read_thread_hold * len(keys),
-                threads=self.knobs.concurrent_reads,
-            )
+        if not keys:
+            return out
+        best, blooms, probes, hits, disk = self._probe_block(keys)
+        for key, rec in zip(keys, best):
+            out[key] = None if rec is None or rec.is_tombstone else rec.value
+        cpu = read_cpu_seconds(
+            int(blooms.sum()), int(probes.sum()), int(hits.sum()), self.costs
+        )
+        self._advance_for_op(
+            cpu_seconds=cpu,
+            seq_bytes=0.0,
+            random_reads=int(disk.sum()),
+            hold_seconds=self.costs.read_thread_hold * len(keys),
+            threads=self.knobs.concurrent_reads,
+        )
         return out
+
+    def execute_batch(
+        self,
+        kinds: np.ndarray,
+        keys: Sequence[str],
+        value_sizes: Optional[np.ndarray] = None,
+    ) -> BatchResult:
+        """Apply one operation block — the vectorized serve hot path.
+
+        ``kinds`` holds :data:`OP_READ`/:data:`OP_WRITE`/:data:`OP_DELETE`
+        codes, ``keys`` the per-op key names, ``value_sizes`` the write
+        payload sizes (zero-filled payloads are materialized: value
+        *content* never affects stats, timing, or cache behaviour — only
+        ``len(value)`` does).  The block is segmented into same-kind runs;
+        read runs go through the vectorized probe-and-charge path when
+        background work is idle (where per-op background accounting is
+        exactly zero), and fall back to the per-op scalar path otherwise.
+        Stats, clock trajectory, cache state, and results are
+        bit-identical to iterating the ops through :meth:`get` /
+        :meth:`put` / :meth:`delete` one at a time.
+        """
+        kinds = np.asarray(kinds)
+        n = len(kinds)
+        if len(keys) != n:
+            raise DatastoreError(
+                f"batch shape mismatch: {n} kinds vs {len(keys)} keys"
+            )
+        start = self.clock.now
+        result = BatchResult(
+            n_ops=n,
+            reads=0,
+            writes=0,
+            deletes=0,
+            start_time=start,
+            end_times=np.empty(n, dtype=np.float64),
+        )
+        if n == 0:
+            return result
+        end_times = result.end_times
+        bounds = np.flatnonzero(np.diff(kinds)) + 1
+        segments = np.concatenate(([0], bounds, [n]))
+        # Whole-batch key hashing, done lazily on the first read run that
+        # can use it: short same-kind runs (a read-mostly mix fragments
+        # into runs of a few dozen ops) then probe with slices instead of
+        # paying the hashing setup per run.
+        hash_tried = False
+        batch_names = batch_h1 = batch_h2 = None
+        for s, e in zip(segments[:-1], segments[1:]):
+            s, e = int(s), int(e)
+            kind = int(kinds[s])
+            if kind == OP_READ:
+                # Probing never advances time, so the layout is frozen
+                # for the whole run; vectorized *charging* additionally
+                # needs background work idle (flush queue empty, no
+                # pending compactions), where per-op background drains
+                # and utilization are exactly no-ops.
+                if not self._pending_compactions and self._flush_queue_bytes <= 0.0:
+                    pre = None
+                    if self.layout.table_count > 0 and e - s >= 4:
+                        if not hash_tried:
+                            hash_tried = True
+                            arr = np.asarray(keys)
+                            hashed = hash_keys(arr)
+                            if hashed is not None:
+                                batch_names = arr
+                                batch_h1, batch_h2 = hashed
+                        if batch_names is not None:
+                            pre = (
+                                batch_names[s:e],
+                                batch_h1[s:e],
+                                batch_h2[s:e],
+                            )
+                    end_times[s:e] = self._execute_read_run(list(keys[s:e]), pre)
+                else:
+                    for j in range(s, e):
+                        self._read_newest(keys[j])
+                        end_times[j] = self.clock.now
+                result.reads += e - s
+            elif kind == OP_WRITE:
+                if value_sizes is None:
+                    raise DatastoreError("write ops in batch but no value_sizes")
+                j = s
+                while j < e:
+                    m = 0
+                    if e - j >= _MIN_VECTOR_MUTATION_RUN:
+                        m, times = self._execute_mutation_run(
+                            keys[j:e], value_sizes[j:e], tombstone=False
+                        )
+                    if m:
+                        end_times[j : j + m] = times
+                        j += m
+                    else:
+                        # A short tail, or the next op flushes the
+                        # memtable / crosses a sync barrier — per-op
+                        # side effects the block charge cannot carry.
+                        # Step it scalar and retry the rest.
+                        self.put(keys[j], bytes(int(value_sizes[j])))
+                        end_times[j] = self.clock.now
+                        j += 1
+                result.writes += e - s
+            elif kind == OP_DELETE:
+                j = s
+                while j < e:
+                    m = 0
+                    if e - j >= _MIN_VECTOR_MUTATION_RUN:
+                        m, times = self._execute_mutation_run(
+                            keys[j:e], None, tombstone=True
+                        )
+                    if m:
+                        end_times[j : j + m] = times
+                        j += m
+                    else:
+                        self.delete(keys[j])
+                        end_times[j] = self.clock.now
+                        j += 1
+                result.deletes += e - s
+            else:
+                raise DatastoreError(f"unknown op kind {kind} in batch")
+        return result
+
+    def _execute_mutation_run(
+        self,
+        keys: Sequence[str],
+        value_sizes: Optional[np.ndarray],
+        tombstone: bool,
+    ):
+        """Vectorized charging for a prefix of a write (or tombstone) run.
+
+        Returns ``(m, end_times)``: the first ``m`` ops were applied and
+        charged as one block; the caller executes op ``m`` through the
+        scalar path (it would flush the memtable or cross a commitlog
+        sync barrier — per-op side effects the block charge cannot
+        include) and then retries the remainder.  ``m == 0`` means no
+        vectorizable prefix.
+
+        The block path works under *busy* background too: per-op service
+        intervals are valid as long as the background utilization they
+        were computed under holds, so the real per-op drains are replayed
+        (flush-queue decay, compaction progress, completions included)
+        and the prefix is cut at the first op whose drain changes the
+        utilization.  Within the accepted prefix every per-op quantity
+        the scalar path computes — record timestamps from the advancing
+        clock, per-record commitlog byte charges, the busy/clock
+        accumulators, background drains — is replicated with identical
+        float64 arithmetic (sequential cumsum chains and the drain code
+        itself), and real records still flow through the real commitlog
+        and memtable, so durability and recovery state are exactly as if
+        the ops ran one at a time.
+        """
+        n = len(keys)
+        if n < 2:
+            return 0, None
+        key_bytes = np.fromiter((len(k) for k in keys), np.int64, count=n)
+        if tombstone:
+            rec_sizes = RECORD_OVERHEAD_BYTES + key_bytes
+        else:
+            rec_sizes = RECORD_OVERHEAD_BYTES + key_bytes + value_sizes.astype(np.int64)
+        # No flush inside the prefix: replacements only shrink the
+        # memtable, so current size + cumulative record bytes bounds the
+        # fill (same product expression as Memtable.should_flush);
+        # everything at and past the crossing is cut off.
+        flush_at = self.knobs.memtable_cleanup_threshold * self.memtable.capacity_bytes
+        sizes_after = self.memtable.size_bytes + np.cumsum(rec_sizes)
+        m = int(np.searchsorted(sizes_after, flush_at, side="left"))
+        if m < 2:
+            return 0, None
+
+        bg_cpu, bg_seq = self._background_utilization()
+        self.cpu.set_background_utilization(bg_cpu)
+        self.disk.set_background_utilization(bg_seq, 0.0)
+        cores = max(self.cpu.available_cores * (self.hardware.cpu_ghz / 3.0), 0.5)
+        threads = self.knobs.concurrent_writes
+        contention = thread_contention(threads, cores, self.costs)
+        dt_cpu = write_cpu_seconds(self.costs) * contention / cores
+        log_bytes = rec_sizes[:m] + self.costs.commitlog_overhead_bytes
+        dt_seq = log_bytes / self.disk.effective_seq_bandwidth
+        dt_pool = self.costs.write_thread_hold / threads
+        dt = np.maximum(np.maximum(dt_cpu, dt_seq), dt_pool)
+
+        start = self.clock.now
+        times = np.cumsum(np.concatenate(([start], dt)))[1:]
+        # Clock value each op observes (before its own advance).
+        at = np.concatenate(([start], times[:-1]))
+        # No sync barrier inside the prefix, else the op that crossed it
+        # would owe extra seconds the block charge does not include.
+        sync_base = self.commitlog._last_sync_time
+        if sync_base is None:
+            sync_base = at[0]  # first append only establishes the baseline
+        synced = np.flatnonzero(at - sync_base >= self.commitlog.sync_period_s)
+        if len(synced):
+            m = int(synced[0])
+            if m < 2:
+                return 0, None
+            dt, times, at, log_bytes = dt[:m], times[:m], at[:m], log_bytes[:m]
+
+        if self._pending_compactions or self._flush_queue_bytes > 0.0:
+            # Replay the real per-op drains (the scalar loop's own code,
+            # so completion budget redistribution and clamping round
+            # identically), advancing the clock first because compaction
+            # completions stamp output tables with ``clock.now``.  Stop
+            # after the first op whose drain shifts the utilization the
+            # precomputed ``dt`` rests on; drains already applied belong
+            # to ops that are committed below, so the cut keeps them.
+            util = (bg_cpu, bg_seq)
+            stop = m
+            for j in range(m):
+                self.clock.advance_to(float(times[j]))
+                self._drain_background(float(dt[j]))
+                if self._background_utilization() != util:
+                    stop = j + 1
+                    break
+            if stop < m:
+                m = stop
+                dt, times, at, log_bytes = dt[:m], times[:m], at[:m], log_bytes[:m]
+
+        payloads: Dict[int, bytes] = {}
+        memtable_put = self.memtable.put
+        log_append = self.commitlog.append
+        for j in range(m):
+            self._write_seq += 1
+            ts = float(at[j]) + self._write_seq * 1e-12
+            if tombstone:
+                rec = Record.tombstone(keys[j], ts)
+            else:
+                size = int(value_sizes[j])
+                value = payloads.get(size)
+                if value is None:
+                    value = payloads[size] = bytes(size)
+                rec = Record(key=keys[j], timestamp=ts, value=value)
+            log_append(rec, now=float(at[j]))
+            memtable_put(rec)
+
+        # The scalar loop's sequential += chains, replayed exactly.
+        stats = self.stats
+        stats.busy_seconds = float(
+            np.cumsum(np.concatenate(([stats.busy_seconds], dt)))[-1]
+        )
+        dstats = self.disk.stats
+        dstats.seq_bytes_written = float(
+            np.cumsum(np.concatenate(([dstats.seq_bytes_written], log_bytes)))[-1]
+        )
+        self.clock.advance_to(float(times[-1]))
+        if tombstone:
+            stats.deletes += m
+        else:
+            stats.writes += m
+        return m, times
+
+    def _execute_read_run(self, keys: Sequence[str], pre=None) -> np.ndarray:
+        """Charge a run of point reads with vectorized cost math.
+
+        Mirrors :meth:`_read_newest` + :meth:`_advance_for_op` per op with
+        identical float64 expression trees; the per-op ``clock.advance``
+        chain is reproduced by a sequential ``np.cumsum`` scan, so the
+        committed clock value and ``busy_seconds`` match the scalar loop
+        bit for bit.  Only valid while background work is idle (the
+        caller checks): there ``_background_utilization()`` is exactly
+        ``(0.0, 0.0)`` and ``_drain_background`` is a no-op, so hoisting
+        them out of the loop changes nothing.
+        """
+        _, blooms, probes, hits, disk = self._probe_block(keys, pre)
+
+        self.cpu.set_background_utilization(0.0)
+        self.disk.set_background_utilization(0.0, 0.0)
+        cores = max(self.cpu.available_cores * (self.hardware.cpu_ghz / 3.0), 0.5)
+        threads = self.knobs.concurrent_reads
+        contention = thread_contention(threads, cores, self.costs)
+
+        cpu = read_cpu_seconds_array(blooms, probes, hits, self.costs)
+        dt_cpu = cpu * contention / cores
+        # Same bits as the scalar conditional: 0 misses divide to +0.0.
+        dt_rand = disk / self.disk.effective_rand_iops
+        self.disk.stats.random_reads += int(disk.sum())
+        dt_pool = self.costs.read_thread_hold / threads
+        dt = np.maximum(np.maximum(dt_cpu, dt_rand), dt_pool)
+
+        # cumsum is a sequential left-to-right scan, so these are the
+        # exact partial sums the per-op `x += dt` chain would produce.
+        times = np.cumsum(np.concatenate(([self.clock.now], dt)))[1:]
+        busy = np.cumsum(np.concatenate(([self.stats.busy_seconds], dt)))[1:]
+        self.stats.busy_seconds = float(busy[-1])
+        self.clock.advance_to(float(times[-1]))
+        return times
 
     def scan(self, start_key: str, end_key: str, limit: int = 0) -> List[tuple]:
         """Range scan: ``[(key, value)]`` for start <= key <= end, sorted.
@@ -443,6 +931,11 @@ class LSMEngine:
     @property
     def pending_compaction_bytes(self) -> float:
         return sum(p.remaining_bytes for p in self._pending_compactions)
+
+    @property
+    def compaction_backlog_bytes(self) -> float:
+        """All background work owed: queued flushes + in-flight compactions."""
+        return self._flush_queue_bytes + self.pending_compaction_bytes
 
     def idle_until_compact(self, max_seconds: float = 3600.0) -> float:
         """Let background work drain (between benchmark phases)."""

@@ -12,6 +12,8 @@ import struct
 import zlib
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.lsm.bloom import BloomFilter
 from repro.lsm.record import Record
 
@@ -52,6 +54,7 @@ class SSTable:
         "table_id",
         "level",
         "_keys",
+        "_keys_arr",
         "_records",
         "bloom",
         "size_bytes",
@@ -75,11 +78,26 @@ class SSTable:
         self.table_id = table_id
         self.level = level
         self._keys: List[str] = keys
+        self._keys_arr: Optional[np.ndarray] = None  # lazy, for batch probes
         self._records: List[Record] = list(records)
         self.bloom = BloomFilter.from_keys(keys, fp_chance)
         self.size_bytes = sum(r.size_bytes for r in records)
         self.created_at = created_at
         self.checksum = checksum_records(self._records)
+
+    # -- pickling --------------------------------------------------------------
+
+    def __getstate__(self):
+        # The lazy key-array cache is derived state; dropping it keeps
+        # pickled artifacts identical whether or not a batch probe ran.
+        return {
+            s: getattr(self, s) for s in self.__slots__ if s != "_keys_arr"
+        }
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+        self._keys_arr = None
 
     # -- metadata --------------------------------------------------------------
 
@@ -128,12 +146,43 @@ class SSTable:
             return self._records[i]
         return None
 
+    def record_at(self, i: int) -> Record:
+        """Record at a known sorted position (from a batched searchsorted)."""
+        return self._records[i]
+
     def block_of(self, key: str) -> int:
         """Index of the logical block holding ``key`` (for the cache)."""
         i = bisect.bisect_left(self._keys, key)
         i = min(i, len(self._keys) - 1)
         # Records are roughly uniform in size; map record index -> block.
         return int(i * self.size_bytes / max(len(self._keys), 1)) // BLOCK_BYTES
+
+    def keys_array(self) -> np.ndarray:
+        """Key column as a numpy array (cached) for batched searchsorted.
+
+        Tables are immutable, so the array is built once on first use;
+        it does not survive pickling (rebuilt lazily after a restore).
+        """
+        if self._keys_arr is None:
+            self._keys_arr = np.array(self._keys)
+        return self._keys_arr
+
+    def block_of_many(self, idx: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`block_of` over *clamped record indices*.
+
+        ``idx`` must already be ``min(bisect_left(key), len-1)`` per key.
+        The float expression mirrors the scalar one exactly; the int64
+        product is exact in float64 whenever it stays under 2**53, which
+        a guard enforces by falling back to the scalar form.
+        """
+        n = max(len(self._keys), 1)
+        if (n - 1) * self.size_bytes >= 2**53:  # pragma: no cover - huge tables
+            return np.array(
+                [int(int(i) * self.size_bytes / n) // BLOCK_BYTES for i in idx],
+                dtype=np.int64,
+            )
+        scaled = (idx.astype(np.int64) * self.size_bytes).astype(np.float64) / n
+        return np.trunc(scaled).astype(np.int64) // BLOCK_BYTES
 
     def records(self) -> Iterable[Record]:
         return iter(self._records)

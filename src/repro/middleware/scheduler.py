@@ -18,13 +18,33 @@ Every tenant's events are namespaced (``tenant.<id>.controller.*``,
 ``tenant.<id>.fault.*``, ``tenant.<id>.actuate.*``) via
 ``bus.scoped()``; the scheduler itself publishes ``scheduler.start`` /
 ``scheduler.window`` / ``scheduler.done``.
+
+**Sharded serve.**  Within one window round, tenant sessions are
+independent except for the shared rafiki (surrogate + recommendation
+cache) and the shared bus.  ``backend=`` / ``workers=`` fan each round
+out across :class:`~repro.runtime.backend.ProcessPoolBackend` workers:
+every worker steps one session against a *copy* of the round-start
+rafiki state and journals its externally visible effects (published
+events and ``recommend()`` calls); the parent then, in registration
+order, merges the journals back — replaying events on the shared bus
+and folding fresh search results into the shared cache (burning the
+same named seed stream a serial search would have consumed).  Because
+the GA search is deterministic given the round-start seed stream,
+two tenants racing the same regime in one round compute the *same*
+result the serial run's cache hit would have returned, so sharded runs
+are bit-identical to serial (see ``tests/test_sharded_scheduler.py``).
+Caveats: the guarantee assumes the rafiki's own event bus is unset
+(worker copies cannot replay mid-search progress events) and that the
+recommendation cache does not evict within a single round.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.cache import RecommendationCache
 from repro.core.controller import ControllerRun, RetryPolicy
 from repro.core.policies import DecisionPolicy, HysteresisPolicy, OraclePolicy
 from repro.datastore.adapter import (
@@ -35,14 +55,83 @@ from repro.datastore.base import Datastore
 from repro.errors import SearchError
 from repro.faults.plan import FaultPlan
 from repro.middleware.session import TenantSession
+from repro.runtime.backend import ExecutionBackend, resolve_backend
 from repro.runtime.events import EventBus
 from repro.sim.clock import SimClock
+from repro.sim.rng import SeedSequence
 from repro.workload.spec import WorkloadSpec
 from repro.workload.trace import DEFAULT_WINDOW_SECONDS
 
 
 def _default_policy() -> DecisionPolicy:
     return HysteresisPolicy(OraclePolicy(), min_change=0.08)
+
+
+class _RecordingBus(EventBus):
+    """Worker-side bus: journals every publish for parent-side replay."""
+
+    def __init__(self):
+        super().__init__()
+        self.records: List[Tuple[str, str, dict]] = []
+
+    def publish(self, topic: str, message: str = "", **payload):
+        self.records.append((topic, message, payload))
+        return super().publish(topic, message, **payload)
+
+
+class _RecordingRafiki:
+    """Worker-side proxy over a rafiki copy, journaling ``recommend()``.
+
+    The journal carries ``(read_ratio, result)`` pairs; the parent
+    replays them against the shared rafiki so its cache/seed state
+    evolves exactly as a serial round's would.
+    """
+
+    def __init__(self, inner, records: List[tuple]):
+        self._inner = inner
+        self._records = records
+
+    def recommend(self, read_ratio, use_cache: bool = True):
+        result = self._inner.recommend(read_ratio, use_cache=use_cache)
+        self._records.append((float(read_ratio), result))
+        return result
+
+    def predicted_throughput(self, read_ratio, config):
+        return self._inner.predicted_throughput(read_ratio, config)
+
+    def predicted_mean_std(self, read_ratio, config):
+        return self._inner.predicted_mean_std(read_ratio, config)
+
+
+def _attach_session_bus(session: TenantSession, bus) -> None:
+    """Point every bus reference a session's step() publishes on at ``bus``."""
+    session.events = bus
+    session.adapter.events = bus
+    if session._injector is not None:
+        session._injector.events = bus
+
+
+def _shard_window_worker(task):
+    """Run one tenant's window in a worker process.
+
+    The session arrives with its bus references stripped (they hold
+    parent-side subscriber callables that must not travel); a recording
+    bus takes their place so the step's event stream can be replayed in
+    the parent.  Returns ``(session, event_records, search_records)``
+    with the buses stripped again for the trip home.
+    """
+    tenant_id, read_ratio, session, rafiki_blob = task
+    recorder = _RecordingBus()
+    _attach_session_bus(session, recorder.scoped(f"tenant.{tenant_id}"))
+    searches: List[tuple] = []
+    if rafiki_blob is not None:
+        session.rafiki = _RecordingRafiki(pickle.loads(rafiki_blob), searches)
+    try:
+        session.step(read_ratio)
+    finally:
+        _attach_session_bus(session, None)
+        session.rafiki = None
+    return session, recorder.records, searches
 
 
 @dataclass
@@ -67,6 +156,7 @@ class TenantSpec:
     restart_seconds_per_node: float = RESTART_SECONDS_PER_NODE
     load: bool = True
     trace_phases: bool = False
+    execution: str = "analytic"    # "analytic" | "engine" (materialized LSM)
 
     def __post_init__(self):
         if not self.tenant_id or self.tenant_id != self.tenant_id.strip():
@@ -75,6 +165,10 @@ class TenantSpec:
             raise SearchError(f"tenant {self.tenant_id!r} has an empty RR series")
         if self.n_nodes < 1:
             raise SearchError("n_nodes must be >= 1")
+        if self.execution == "engine" and self.n_nodes != 1:
+            raise SearchError(
+                f"tenant {self.tenant_id!r}: engine execution is single-node"
+            )
         if self.fault_plan is not None:
             self.fault_plan.validate()
             if self.fault_plan.max_node >= self.n_nodes:
@@ -102,11 +196,23 @@ class MiddlewareScheduler:
         *,
         events: Optional[EventBus] = None,
         clock: Optional[SimClock] = None,
+        backend: Optional[ExecutionBackend] = None,
+        workers: Optional[int] = None,
     ):
         self.datastore = datastore
         self.rafiki = rafiki
         self.events = events or EventBus()
         self.clock = clock or SimClock()
+        # backend=None and workers in (None, 1) keep the legacy in-process
+        # serial loop; an explicit backend (even SerialBackend, useful for
+        # exercising the shard protocol without processes) or workers > 1
+        # routes every round through the sharded path.
+        if backend is not None:
+            self.backend = backend
+        elif workers is not None and workers > 1:
+            self.backend = resolve_backend(workers=workers)
+        else:
+            self.backend = None
         self._tenants: Dict[str, tuple] = {}   # id -> (spec, session); ordered
 
     @property
@@ -134,6 +240,8 @@ class MiddlewareScheduler:
             seed=spec.seed,
             restart_seconds_per_node=spec.restart_seconds_per_node,
             events=scoped,
+            execution=spec.execution,
+            workload=spec.base_workload,
         )
         session = TenantSession(
             self.datastore,
@@ -176,13 +284,21 @@ class MiddlewareScheduler:
             windows=horizon,
         )
         for w in range(horizon):
-            active = []
-            round_seconds = 0.0
-            for tenant_id, (spec, session) in self._tenants.items():
-                if w < len(spec.rr_series):
+            active = [
+                tenant_id
+                for tenant_id, (spec, _) in self._tenants.items()
+                if w < len(spec.rr_series)
+            ]
+            round_seconds = max(
+                (self._tenants[t][0].window_seconds for t in active),
+                default=0.0,
+            )
+            if self.backend is None:
+                for tenant_id in active:
+                    spec, session = self._tenants[tenant_id]
                     session.step(spec.rr_series[w])
-                    active.append(tenant_id)
-                    round_seconds = max(round_seconds, spec.window_seconds)
+            else:
+                self._run_round_sharded(w, active)
             self.clock.advance(round_seconds)
             self.events.publish(
                 "scheduler.window",
@@ -202,6 +318,98 @@ class MiddlewareScheduler:
             tenants=list(results),
         )
         return results
+
+    # -- sharded rounds ---------------------------------------------------------
+
+    def _run_round_sharded(self, w: int, active: Sequence[str]) -> None:
+        """Fan one window round out over the backend's workers.
+
+        Workers receive bus-stripped sessions plus one shared pickle of
+        the round-start rafiki state; results are merged back in
+        registration order (the lockstep barrier), so the shared cache,
+        seed streams, and event log evolve exactly as a serial round's.
+        """
+        blob = self._rafiki_blob() if any(
+            self._tenants[t][0].use_rafiki for t in active
+        ) else None
+        tasks = []
+        for tenant_id in active:
+            spec, session = self._tenants[tenant_id]
+            _attach_session_bus(session, None)
+            session.rafiki = None
+            tasks.append(
+                (
+                    tenant_id,
+                    float(spec.rr_series[w]),
+                    session,
+                    blob if spec.use_rafiki else None,
+                )
+            )
+        try:
+            outcomes = self.backend.map_tasks(_shard_window_worker, tasks)
+        finally:
+            # On a worker-raised error the parent-side sessions are left
+            # bus-stripped; restore them so the scheduler stays usable.
+            for tenant_id in active:
+                spec, session = self._tenants[tenant_id]
+                self._reattach(spec, session)
+        for tenant_id, outcome in zip(active, outcomes):
+            session, event_records, search_records = outcome
+            spec, _ = self._tenants[tenant_id]
+            self._reattach(spec, session)
+            self._tenants[tenant_id] = (spec, session)
+            self._merge_searches(search_records)
+            for topic, message, payload in event_records:
+                self.events.publish(topic, message, **payload)
+
+    def _reattach(self, spec: TenantSpec, session: TenantSession) -> None:
+        _attach_session_bus(
+            session, self.events.scoped(f"tenant.{spec.tenant_id}")
+        )
+        session.rafiki = self.rafiki if spec.use_rafiki else None
+
+    def _rafiki_blob(self) -> bytes:
+        """Pickle the shared rafiki with its bus references detached."""
+        rafiki = self.rafiki
+        stripped = []
+        for obj, attr in (
+            (rafiki, "events"),
+            (getattr(rafiki, "optimizer", None), "bus"),
+        ):
+            if obj is not None and getattr(obj, attr, None) is not None:
+                stripped.append((obj, attr, getattr(obj, attr)))
+                setattr(obj, attr, None)
+        try:
+            return pickle.dumps(rafiki)
+        finally:
+            for obj, attr, value in stripped:
+                setattr(obj, attr, value)
+
+    def _merge_searches(self, records: Sequence[tuple]) -> None:
+        """Fold one worker's ``recommend()`` journal into the shared rafiki.
+
+        For a real :class:`~repro.core.rafiki.Rafiki` the replay is
+        exact: each journaled call performs the same cache lookup a
+        serial call would (same hit/miss stats, same LRU refresh), and a
+        miss installs the worker's result after burning the named seed
+        stream the serial search would have consumed — so a later round
+        searching a new regime draws from the identical stream index.
+        Duck-typed recommenders without cache/seeds state (test fakes)
+        fall back to replaying the calls outright, which is cheap for
+        anything whose recommend() is a table fill.
+        """
+        rafiki = self.rafiki
+        cache = getattr(rafiki, "cache", None)
+        seeds = getattr(rafiki, "seeds", None)
+        if isinstance(cache, RecommendationCache) and isinstance(seeds, SeedSequence):
+            for read_ratio, result in records:
+                key = cache.quantize(read_ratio)
+                if cache.get(key) is None:
+                    seeds.stream(f"search-rr{key}")
+                    cache.put(key, result)
+        else:
+            for read_ratio, _ in records:
+                rafiki.recommend(read_ratio)
 
     def __repr__(self) -> str:
         return (

@@ -64,8 +64,12 @@ class FeedForwardNetwork:
             offset += b.size
 
     def clone(self) -> "FeedForwardNetwork":
-        other = FeedForwardNetwork(self.layer_sizes, rng=np.random.default_rng(0))
-        other.set_weights(self.get_weights())
+        # Bypass __init__: drawing a full random init just to overwrite it
+        # was measurable in the ensemble checkpoint/canary hot paths.
+        other = FeedForwardNetwork.__new__(FeedForwardNetwork)
+        other.layer_sizes = list(self.layer_sizes)
+        other.weights = [w.copy() for w in self.weights]
+        other.biases = [b.copy() for b in self.biases]
         return other
 
     # -- forward ----------------------------------------------------------------

@@ -8,16 +8,21 @@ batched benchmark path computes in expectation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Optional
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
 
 import numpy as np
 
+from repro.lsm.engine import OP_DELETE, OP_READ, OP_WRITE
 from repro.workload.keydist import (
     ExponentialReuseKeyDistribution,
     KeyDistribution,
 )
 from repro.workload.spec import DELETE, READ, WRITE, WorkloadSpec
+
+#: Workload kind string <-> engine op code (the codes live in
+#: :mod:`repro.lsm.engine` because the import DAG runs lsm -> workload).
+_KIND_OF_CODE = {OP_READ: READ, OP_WRITE: WRITE, OP_DELETE: DELETE}
 
 
 @dataclass(frozen=True)
@@ -33,6 +38,46 @@ class Operation:
         if self.kind != WRITE:
             return b""
         return rng.bytes(self.value_bytes)
+
+
+@dataclass
+class OperationBatch:
+    """A block of operations as parallel numpy columns.
+
+    The vectorized analogue of a run of :class:`Operation`s: op kinds as
+    :data:`~repro.lsm.engine.OP_READ`-family codes, key *ids* (names are
+    materialized lazily), and write payload sizes.  Feed it to
+    :meth:`~repro.lsm.engine.LSMEngine.execute_batch` directly, or walk
+    :meth:`iter_operations` to run the same block through the scalar
+    path — the engine produces bit-identical stats and timing either
+    way.  Batched writes carry zero-filled payloads; value *content*
+    never influences stats, simulated time, or cache behaviour (only
+    ``len(value)`` does), so the streams are equivalent where it counts.
+    """
+
+    kinds: np.ndarray  # int8 OP_* codes, one per op
+    key_ids: np.ndarray  # int64 key ids
+    value_sizes: np.ndarray  # int64 payload bytes (0 for non-writes)
+    _names: Optional[List[str]] = field(default=None, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.kinds)
+
+    def key_names(self) -> List[str]:
+        """Per-op key names (cached after first materialization)."""
+        if self._names is None:
+            self._names = [f"user{int(k):012d}" for k in self.key_ids]
+        return self._names
+
+    def iter_operations(self) -> Iterator[Operation]:
+        """The same block as scalar :class:`Operation`s (reference path)."""
+        names = self.key_names()
+        for i in range(len(self.kinds)):
+            yield Operation(
+                kind=_KIND_OF_CODE[int(self.kinds[i])],
+                key=names[i],
+                value_bytes=int(self.value_sizes[i]),
+            )
 
 
 class OperationGenerator:
@@ -94,6 +139,58 @@ class OperationGenerator:
         """A bounded stream of ``count`` run-phase operations."""
         for _ in range(count):
             yield self.next_operation()
+
+    def load_batch(self, count: int) -> OperationBatch:
+        """Vectorized :meth:`load_operations`: ``count`` fresh inserts."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        key_ids = self._next_insert_id + np.arange(count, dtype=np.int64)
+        self._next_insert_id += count
+        return OperationBatch(
+            kinds=np.full(count, OP_WRITE, dtype=np.int8),
+            key_ids=key_ids,
+            value_sizes=np.full(count, self.spec.value_bytes, dtype=np.int64),
+        )
+
+    def operation_batch(self, n: int, read_ratio: Optional[float] = None) -> OperationBatch:
+        """Draw ``n`` run-phase operations as one vectorized block.
+
+        Semantically the batch analogue of ``n`` :meth:`next_operation`
+        calls — the same kind split, update/insert split, insert-cursor
+        advancement, and modulo-populated existing-key mapping — drawn
+        column-wise (all kind coins, then all update coins, then all key
+        ids), so it is its own deterministic sampler rather than a replay
+        of the scalar draw order.  ``read_ratio`` overrides the spec's
+        ratio for serving a mid-campaign workload mix.
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        rr = self.spec.read_ratio if read_ratio is None else float(read_ratio)
+        df = self.spec.delete_fraction
+        u = self.rng.random(n)
+        v = self.rng.random(n)
+
+        kinds = np.full(n, OP_WRITE, dtype=np.int8)
+        kinds[u < rr + df] = OP_DELETE
+        kinds[u < rr] = OP_READ
+        write_mask = kinds == OP_WRITE
+        insert_mask = write_mask & (v >= self.spec.update_fraction)
+        existing_mask = ~insert_mask
+
+        # The insert cursor advances as the block is consumed: op i maps
+        # existing-key draws modulo the keys populated *before* it.
+        inserts_before = np.cumsum(insert_mask) - insert_mask
+        populated = np.maximum(self._next_insert_id + inserts_before, 1)
+
+        key_ids = np.empty(n, dtype=np.int64)
+        n_existing = int(existing_mask.sum())
+        raw = self.key_dist.next_keys(self.rng, n_existing)
+        key_ids[existing_mask] = raw % populated[existing_mask]
+        key_ids[insert_mask] = self._next_insert_id + inserts_before[insert_mask]
+        self._next_insert_id += int(insert_mask.sum())
+
+        value_sizes = np.where(write_mask, self.spec.value_bytes, 0).astype(np.int64)
+        return OperationBatch(kinds=kinds, key_ids=key_ids, value_sizes=value_sizes)
 
     def _existing_key(self) -> int:
         populated = max(self._next_insert_id, 1)

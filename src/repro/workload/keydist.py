@@ -31,6 +31,21 @@ class KeyDistribution:
         """Return the integer id of the next key to access."""
         raise NotImplementedError
 
+    def next_keys(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorized sampling: the ids of the next ``n`` key accesses.
+
+        The base implementation loops :meth:`next_key` and is therefore
+        always stream-identical to scalar sampling; subclasses override
+        it with vectorized draws.  Uniform and zipfian batches consume
+        the generator exactly as ``n`` scalar calls would (numpy fills
+        arrays element-by-element with the same algorithm), so batched
+        and scalar op streams see the same keys; the exponential-reuse
+        sampler documents its own contract.
+        """
+        if n < 0:
+            raise WorkloadError("batch size must be non-negative")
+        return np.array([self.next_key(rng) for _ in range(n)], dtype=np.int64)
+
     def key_name(self, key_id: int) -> str:
         """Stable, sortable string form (zero-padded, YCSB-style)."""
         return f"user{key_id:012d}"
@@ -41,6 +56,11 @@ class UniformKeyDistribution(KeyDistribution):
 
     def next_key(self, rng: np.random.Generator) -> int:
         return int(rng.integers(self.n_keys))
+
+    def next_keys(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("batch size must be non-negative")
+        return rng.integers(self.n_keys, size=n).astype(np.int64)
 
 
 class ZipfianKeyDistribution(KeyDistribution):
@@ -79,6 +99,23 @@ class ZipfianKeyDistribution(KeyDistribution):
         if uz < 1.0 + 0.5**self.theta:
             return 1
         return int(self.n_keys * (self._eta * u - self._eta + 1) ** self._alpha)
+
+    def next_keys(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        if n < 0:
+            raise WorkloadError("batch size must be non-negative")
+        u = rng.random(n)
+        uz = u * self._zetan
+        # Same expression tree as next_key, so each element is bit-equal
+        # to the scalar call on the same uniform draw.  Lanes taken by
+        # the uz < 1 + 0.5**theta branches can have a negative power
+        # base; they are discarded by the where, but the base is clamped
+        # so they never raise on the way through.
+        base = self._eta * u - self._eta + 1
+        tail = (self.n_keys * np.where(base > 0, base, 1.0) ** self._alpha).astype(
+            np.int64
+        )
+        keys = np.where(uz < 1.0, 0, np.where(uz < 1.0 + 0.5**self.theta, 1, tail))
+        return keys.astype(np.int64)
 
 
 class ExponentialReuseKeyDistribution(KeyDistribution):
@@ -138,3 +175,64 @@ class ExponentialReuseKeyDistribution(KeyDistribution):
         self._last_seen[key] = self._count
         self._count += 1
         return key
+
+    def next_keys(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Vectorized reuse-distance sampling.
+
+        One reuse coin, one exponential distance, and one cold key are
+        drawn per op up front; in-batch reuse targets (an op whose
+        distance lands on an *earlier op of the same batch*) are resolved
+        by pointer-halving, so the realized reuse-distance process is the
+        same as the scalar sampler's.  This is the batch path's own
+        deterministic sampler, not a replay of :meth:`next_key` — the
+        scalar sampler's RNG consumption is data-dependent (its re-access
+        retry loop redraws up to three times), which no fixed-shape batch
+        draw can reproduce; the retry heuristic is dropped here, slightly
+        thickening the short-distance tail.  Both paths remain seed-
+        deterministic, and batched runs are reproducible run-to-run.
+        """
+        if n < 0:
+            raise WorkloadError("batch size must be non-negative")
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        if len(self._history) + n > self.history_limit:
+            # Eviction bookkeeping would trigger mid-batch; keep that
+            # rare regime on the scalar path.
+            return super().next_keys(rng, n)
+
+        reuse_coin = rng.random(n)
+        distance = rng.exponential(self.mean_reuse_distance, size=n).astype(np.int64)
+        cold = rng.integers(self.n_keys, size=n).astype(np.int64)
+
+        h = len(self._history)
+        idx = np.arange(n, dtype=np.int64)
+        # Op i sees an effective history of h + i entries; a distance at
+        # or beyond that window falls back to a cold key, as in the
+        # scalar sampler.
+        window = h + idx
+        reuse = (reuse_coin < self.reuse_probability) & (distance < window) & (window > 0)
+        # Position of the reused entry on the combined stream
+        # [history[0..h-1], batch[0..n-1]]:
+        target = window - 1 - distance
+
+        keys = cold.copy()
+        hist_hit = reuse & (target < h)
+        if np.any(hist_hit):
+            hist_arr = np.array(self._history, dtype=np.int64)
+            keys[hist_hit] = hist_arr[target[hist_hit]]
+        # In-batch references always point strictly backward, so
+        # repeated pointer-halving terminates with every chain rooted at
+        # a cold or history-sourced op.
+        parent = np.where(reuse & (target >= h), target - h, idx)
+        while True:
+            grand = parent[parent]
+            if np.array_equal(grand, parent):
+                break
+            parent = grand
+        keys = keys[parent]
+
+        key_list = keys.tolist()
+        self._history.extend(key_list)
+        self._last_seen.update(zip(key_list, range(self._count, self._count + n)))
+        self._count += n
+        return keys

@@ -1,0 +1,275 @@
+"""Batch-vs-scalar equivalence of the vectorized op-stream hot path.
+
+PR 2's batch≡scalar convention, applied to execution: an
+:class:`~repro.workload.generator.OperationBatch` pushed through
+:meth:`~repro.lsm.engine.LSMEngine.execute_batch` must leave the engine
+in the *bit-identical* state (stats, simulated clock, cache, layout)
+that iterating the same block through ``get``/``put``/``delete`` one op
+at a time would, and the supporting vectorized pieces (FNV hashing,
+bloom bulk ops, key-distribution batch draws) must match their scalar
+references exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.cassandra import LEVELED, SIZE_TIERED
+from repro.datastore import CassandraLike
+from repro.lsm.bloom import BloomFilter, _fnv1a, hash_keys
+from repro.lsm.engine import OP_WRITE, LSMEngine
+from repro.sim.hardware import HardwareSpec
+from repro.workload.generator import OperationGenerator
+from repro.workload.keydist import (
+    ExponentialReuseKeyDistribution,
+    UniformKeyDistribution,
+    ZipfianKeyDistribution,
+)
+from repro.workload.spec import DELETE, READ, WorkloadSpec
+
+from .conftest import MB, make_knobs
+
+
+def small_hardware() -> HardwareSpec:
+    return HardwareSpec(
+        name="test-box",
+        cpu_cores=4,
+        cpu_ghz=3.0,
+        ram_bytes=4 * MB,
+        disk_seq_bandwidth=16 * MB,
+        disk_rand_iops=2_000.0,
+        disk_count=1,
+        net_bandwidth=10 * MB,
+    )
+
+
+def twin_engines(strategy):
+    """Two engines in identical states; one per execution path."""
+    return (
+        LSMEngine(make_knobs(compaction_method=strategy), small_hardware()),
+        LSMEngine(make_knobs(compaction_method=strategy), small_hardware()),
+    )
+
+
+def apply_scalar(engine: LSMEngine, block) -> list:
+    """The reference path: one op at a time, tracing the clock."""
+    trace = []
+    for op in block.iter_operations():
+        if op.kind == READ:
+            engine.get(op.key)
+        elif op.kind == DELETE:
+            engine.delete(op.key)
+        else:
+            engine.put(op.key, bytes(op.value_bytes))
+        trace.append(engine.clock.now)
+    return trace
+
+
+def engine_state(engine: LSMEngine) -> tuple:
+    return (
+        engine.stats,
+        engine.clock.now,
+        engine.cache.hit_ratio,
+        engine.sstable_count,
+        engine.memtable.size_bytes,
+        engine.compaction_backlog_bytes,
+    )
+
+
+class TestExecuteBatchEquivalence:
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        read_ratio=st.floats(min_value=0.0, max_value=0.9),
+        delete_fraction=st.sampled_from([0.0, 0.05]),
+        update_fraction=st.floats(min_value=0.0, max_value=1.0),
+        strategy=st.sampled_from([SIZE_TIERED, LEVELED]),
+        n_ops=st.integers(min_value=20, max_value=300),
+    )
+    def test_same_block_identical_state_and_clock(
+        self, seed, read_ratio, delete_fraction, update_fraction, strategy, n_ops
+    ):
+        spec = WorkloadSpec(
+            read_ratio=read_ratio,
+            n_keys=500,
+            value_bytes=200,
+            update_fraction=update_fraction,
+            delete_fraction=delete_fraction,
+            krd_mean_ops=50,
+        )
+        gen = OperationGenerator(spec, np.random.default_rng(seed))
+        batched, scalar = twin_engines(strategy)
+
+        load = gen.load_batch(150)
+        batched.execute_batch(load.kinds, load.key_names(), load.value_sizes)
+        apply_scalar(scalar, load)
+        assert engine_state(batched) == engine_state(scalar)
+
+        # Two blocks so the second starts from mid-flight flush /
+        # compaction state rather than a fresh engine.
+        for _ in range(2):
+            block = gen.operation_batch(n_ops)
+            result = batched.execute_batch(
+                block.kinds, block.key_names(), block.value_sizes
+            )
+            trace = apply_scalar(scalar, block)
+            assert engine_state(batched) == engine_state(scalar)
+            # The recorded per-op end times are the scalar clock trace.
+            assert np.array_equal(result.end_times, np.array(trace))
+
+    def test_write_heavy_run_crosses_flush_and_compaction(self):
+        """The equivalence must hold *through* background work."""
+        spec = WorkloadSpec(
+            read_ratio=0.2, n_keys=300, value_bytes=400, update_fraction=0.3
+        )
+        gen = OperationGenerator(spec, np.random.default_rng(9))
+        batched, scalar = twin_engines(SIZE_TIERED)
+        for _ in range(4):
+            block = gen.operation_batch(250)
+            batched.execute_batch(block.kinds, block.key_names(), block.value_sizes)
+            apply_scalar(scalar, block)
+        assert batched.stats.flushes > 0
+        assert batched.stats.compactions_started > 0
+        assert engine_state(batched) == engine_state(scalar)
+
+    def test_batch_counts_by_kind(self):
+        spec = WorkloadSpec(read_ratio=0.6, n_keys=200, delete_fraction=0.1)
+        gen = OperationGenerator(spec, np.random.default_rng(4))
+        engine, _ = twin_engines(SIZE_TIERED)
+        load = gen.load_batch(50)
+        engine.execute_batch(load.kinds, load.key_names(), load.value_sizes)
+        block = gen.operation_batch(120)
+        result = engine.execute_batch(
+            block.kinds, block.key_names(), block.value_sizes
+        )
+        kinds = [op.kind for op in block.iter_operations()]
+        assert result.n_ops == 120
+        assert result.reads == kinds.count(READ)
+        assert result.deletes == kinds.count(DELETE)
+        assert result.writes == 120 - result.reads - result.deletes
+
+
+class TestGeneratorBatches:
+    def test_load_batch_matches_load_operations(self):
+        spec = WorkloadSpec(read_ratio=0.5, n_keys=100, value_bytes=64)
+        scalar_gen = OperationGenerator(spec, np.random.default_rng(1))
+        batch_gen = OperationGenerator(spec, np.random.default_rng(1))
+        scalar_ops = list(scalar_gen.load_operations(40))
+        block = batch_gen.load_batch(40)
+        assert [op.key for op in scalar_ops] == block.key_names()
+        assert np.all(block.kinds == OP_WRITE)
+        assert np.all(block.value_sizes == spec.value_bytes)
+        assert scalar_gen._next_insert_id == batch_gen._next_insert_id
+
+    def test_operation_batch_is_seed_deterministic(self):
+        spec = WorkloadSpec(read_ratio=0.7, n_keys=300, krd_mean_ops=40)
+
+        def draw():
+            gen = OperationGenerator(spec, np.random.default_rng(11))
+            gen.load_batch(100)
+            b = gen.operation_batch(200)
+            return b.kinds.copy(), b.key_ids.copy(), b.value_sizes.copy()
+
+        a, b = draw(), draw()
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_read_ratio_override(self):
+        spec = WorkloadSpec(read_ratio=0.1, n_keys=100)
+        gen = OperationGenerator(spec, np.random.default_rng(2), loaded_keys=100)
+        block = gen.operation_batch(2000, read_ratio=0.95)
+        reads = sum(1 for op in block.iter_operations() if op.kind == READ)
+        assert reads / 2000 > 0.85
+
+
+class TestKeyDistributionBatches:
+    @pytest.mark.parametrize(
+        "dist_cls", [UniformKeyDistribution, ZipfianKeyDistribution]
+    )
+    def test_batch_stream_identical_to_scalar(self, dist_cls):
+        scalar_dist, batch_dist = dist_cls(n_keys=1000), dist_cls(n_keys=1000)
+        rng_a, rng_b = np.random.default_rng(7), np.random.default_rng(7)
+        scalar = [scalar_dist.next_key(rng_a) for _ in range(500)]
+        batch = batch_dist.next_keys(rng_b, 500)
+        assert np.array_equal(np.array(scalar), batch)
+
+    def test_exponential_reuse_batch_deterministic_and_bounded(self):
+        def draw():
+            dist = ExponentialReuseKeyDistribution(n_keys=500, mean_reuse_distance=30)
+            rng = np.random.default_rng(13)
+            return dist.next_keys(rng, 400), dist
+
+        a, dist_a = draw()
+        b, dist_b = draw()
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 500
+        # Bookkeeping advanced as if the keys were drawn one at a time.
+        assert dist_a._count == 400
+        assert len(dist_a._history) == 400
+        assert dist_a._last_seen == dist_b._last_seen
+
+    def test_exponential_reuse_batch_actually_reuses(self):
+        dist = ExponentialReuseKeyDistribution(n_keys=100_000, mean_reuse_distance=20)
+        keys = dist.next_keys(np.random.default_rng(3), 2000)
+        # With an 0.8 reuse probability and a tiny mean distance, a
+        # 2000-op draw over a 100k keyspace must repeat keys heavily.
+        assert len(np.unique(keys)) < 1200
+
+
+class TestBloomBatches:
+    KEYS = [f"user{i:012d}" for i in range(200)]
+
+    def test_hash_keys_matches_scalar_fnv(self):
+        hashed = hash_keys(np.asarray(self.KEYS))
+        assert hashed is not None
+        h1, h2 = hashed
+        for i, key in enumerate(self.KEYS):
+            data = key.encode("utf-8")
+            assert int(h1[i]) == _fnv1a(data, seed=0x9E3779B9)
+            assert int(h2[i]) == (_fnv1a(data, seed=0x85EBCA6B) | 1)
+
+    def test_hash_keys_refuses_non_ascii_and_embedded_nul(self):
+        assert hash_keys(np.asarray(["café", "user1"])) is None
+        assert hash_keys(np.asarray(["a\x00b"])) is None
+
+    def test_add_many_bit_identical_to_sequential_add(self):
+        scalar = BloomFilter(expected_items=200, fp_chance=0.01)
+        batch = BloomFilter(expected_items=200, fp_chance=0.01)
+        for key in self.KEYS:
+            scalar.add(key)
+        batch.add_many(*hash_keys(np.asarray(self.KEYS)))
+        assert bytes(scalar._bits) == bytes(batch._bits)
+        assert scalar.n_items == batch.n_items
+
+    def test_might_contain_many_matches_scalar_probe(self):
+        bf = BloomFilter.from_keys(self.KEYS, fp_chance=0.01)
+        probes = self.KEYS[::3] + [f"miss{i:08d}" for i in range(100)]
+        hits = bf.might_contain_many(*hash_keys(np.asarray(probes)))
+        assert hits.tolist() == [bf.might_contain(k) for k in probes]
+
+
+class TestRunEngineTail:
+    def test_partial_final_interval_is_reported(self):
+        """A report interval longer than the whole run must still yield
+        a series — the tail used to vanish on the engine path."""
+        from repro.bench.ycsb import YCSBBenchmark
+
+        datastore = CassandraLike()
+        bench = YCSBBenchmark(datastore, report_interval=1e9)
+        workload = WorkloadSpec(read_ratio=0.8, n_keys=500, krd_mean_ops=50)
+        for batched in (False, True):
+            result = bench.run_engine(
+                datastore.default_configuration(),
+                workload,
+                n_ops=400,
+                load_keys=150,
+                seed=3,
+                batched=batched,
+            )
+            assert len(result.series) >= 1
+            assert result.series[-1].ops_per_second > 0

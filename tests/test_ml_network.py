@@ -41,6 +41,16 @@ class TestWeightVector:
         clone.set_weights(clone.get_weights() + 1.0)
         assert not np.allclose(net.predict(x), clone.predict(x))
 
+    def test_clone_copies_weights_bitwise(self, net):
+        clone = net.clone()
+        assert clone.layer_sizes == net.layer_sizes
+        assert np.array_equal(clone.get_weights(), net.get_weights())
+        # Copies, not views: mutating one side never leaks to the other.
+        for a, b in zip(net.weights, clone.weights):
+            assert not np.shares_memory(a, b)
+        for a, b in zip(net.biases, clone.biases):
+            assert not np.shares_memory(a, b)
+
 
 class TestForward:
     def test_predict_shape(self, net, rng):

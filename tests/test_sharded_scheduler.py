@@ -1,0 +1,263 @@
+"""Sharded-vs-serial equivalence of the multi-tenant serve loop.
+
+The scheduler's ``backend=`` fan-out must be *bit-identical* to the
+legacy inline loop: same per-tenant results, same event log in
+registration order, and — for a real :class:`~repro.core.rafiki.Rafiki`
+— the same shared-cache statistics, LRU order, and named-seed-stream
+counters, extending the PR 1 serial/parallel equivalence guarantee to
+the serve path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.dataset import PerformanceDataset, PerformanceSample
+from repro.config import CASSANDRA_KEY_PARAMETERS, cassandra_space
+from repro.core.policies import OraclePolicy
+from repro.core.rafiki import Rafiki
+from repro.core.search import OptimizationResult
+from repro.core.surrogate import SurrogateModel
+from repro.datastore import CassandraLike
+from repro.datastore.adapter import SimulatedDatastoreAdapter
+from repro.errors import DatastoreError, SearchError
+from repro.middleware import MiddlewareScheduler, TenantSpec
+from repro.ml.ensemble import EnsembleConfig
+from repro.runtime import EventBus
+from repro.runtime.backend import ProcessPoolBackend, SerialBackend
+from repro.workload.spec import WorkloadSpec
+
+PARAMS = list(CASSANDRA_KEY_PARAMETERS)
+WORKLOAD = WorkloadSpec(read_ratio=0.5, n_keys=100_000)
+
+
+@pytest.fixture(scope="module")
+def cassandra():
+    return CassandraLike()
+
+
+@pytest.fixture(scope="module")
+def tiny_surrogate():
+    """A real (if crude) surrogate so recommend() runs a real search."""
+    space = cassandra_space()
+    rng = np.random.default_rng(5)
+    samples = []
+    for _ in range(6):
+        config = space.sample_configuration(rng, PARAMS)
+        vec = config.to_vector(PARAMS)
+        for rr in (0.0, 0.5, 1.0):
+            samples.append(
+                PerformanceSample(
+                    workload=WorkloadSpec(read_ratio=rr),
+                    configuration=config,
+                    throughput=50_000 + 20_000 * vec[0] + 4_000 * rr,
+                )
+            )
+    model = SurrogateModel(space, PARAMS, EnsembleConfig(n_networks=2, max_epochs=15))
+    return model.fit(PerformanceDataset(samples, PARAMS), seed=2)
+
+
+class CachingFakeRafiki:
+    """Duck-typed recommender exercising the generic merge fallback."""
+
+    def __init__(self, datastore):
+        self.datastore = datastore
+        self.misses = 0
+        self.hits = 0
+        self._cache = {}
+
+    def recommend(self, read_ratio, use_cache=True):
+        key = round(read_ratio, 2)
+        if key in self._cache:
+            self.hits += 1
+            return self._cache[key]
+        self.misses += 1
+        result = OptimizationResult(
+            configuration=self.datastore.default_configuration(),
+            predicted_throughput=0.0,
+            evaluations=1,
+            equivalent_wall_seconds=0.0,
+            strategy="fake",
+        )
+        self._cache[key] = result
+        return result
+
+
+def spec(tenant_id, series, seed=0, **kwargs):
+    kwargs.setdefault("window_seconds", 30)
+    kwargs.setdefault("load", False)
+    return TenantSpec(
+        tenant_id=tenant_id,
+        rr_series=series,
+        base_workload=WORKLOAD,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def run_campaign(cassandra, specs, backend=None, rafiki=None):
+    events = EventBus()
+    log = []
+    events.subscribe(log.append)
+    rafiki = rafiki if rafiki is not None else CachingFakeRafiki(cassandra)
+    scheduler = MiddlewareScheduler(cassandra, rafiki, events=events, backend=backend)
+    for s in specs:
+        scheduler.add_tenant(s)
+    results = scheduler.run()
+    summary = {
+        tid: [
+            (
+                e.window_index,
+                e.read_ratio,
+                e.reconfigured,
+                e.mean_throughput,
+                e.rolled_back,
+                e.degraded,
+                str(e.configuration),
+            )
+            for e in r.events
+        ]
+        for tid, r in results.items()
+    }
+    log_view = [(e.topic, e.message, repr(sorted(e.payload.items()))) for e in log]
+    return summary, log_view, rafiki
+
+
+SPECS = lambda: [spec(f"t{i}", [0.2, 0.9, 0.4], seed=i) for i in range(4)]  # noqa: E731
+
+
+class TestShardedEqualsSerial:
+    @pytest.mark.parametrize(
+        "backend_factory",
+        [SerialBackend, lambda: ProcessPoolBackend(workers=2)],
+        ids=["serial-backend", "process-pool"],
+    )
+    def test_results_and_events_bit_identical(self, cassandra, backend_factory):
+        ref_summary, ref_log, ref_rafiki = run_campaign(cassandra, SPECS())
+        summary, log, rafiki = run_campaign(
+            cassandra, SPECS(), backend=backend_factory()
+        )
+        assert summary == ref_summary
+        assert log == ref_log
+        # The generic merge replays recommend() calls on the shared
+        # fake, so its cache statistics evolve exactly as serial.
+        assert (rafiki.hits, rafiki.misses) == (ref_rafiki.hits, ref_rafiki.misses)
+
+    def test_workers_arg_resolves_to_sharded_path(self, cassandra):
+        ref_summary, ref_log, _ = run_campaign(cassandra, SPECS())
+        events = EventBus()
+        log = []
+        events.subscribe(log.append)
+        scheduler = MiddlewareScheduler(
+            cassandra, CachingFakeRafiki(cassandra), events=events, workers=2
+        )
+        assert scheduler.backend is not None
+        for s in SPECS():
+            scheduler.add_tenant(s)
+        results = scheduler.run()
+        assert {
+            tid: [e.mean_throughput for e in r.events] for tid, r in results.items()
+        } == {tid: [e[3] for e in evs] for tid, evs in ref_summary.items()}
+        assert [(e.topic, e.message) for e in log] == [
+            (topic, message) for topic, message, _ in ref_log
+        ]
+
+    def test_workers_one_keeps_legacy_serial_loop(self, cassandra):
+        scheduler = MiddlewareScheduler(
+            cassandra, CachingFakeRafiki(cassandra), workers=1
+        )
+        assert scheduler.backend is None
+
+    def test_staggered_series_lengths(self, cassandra):
+        """Tenants dropping out mid-campaign shard identically."""
+        specs = [
+            spec("long", [0.2, 0.8, 0.3, 0.6], seed=1),
+            spec("short", [0.5], seed=2),
+            spec("mid", [0.7, 0.1], seed=3),
+        ]
+        ref = run_campaign(cassandra, list(specs))[:2]
+        sharded = run_campaign(
+            cassandra, list(specs), backend=ProcessPoolBackend(workers=2)
+        )[:2]
+        assert sharded == ref
+
+
+class TestRealRafikiProtocol:
+    def test_cache_lru_and_seed_streams_identical(self, cassandra, tiny_surrogate):
+        """The exact-merge path: shared cache stats, LRU order, and
+        named seed-stream counters must match a serial run bitwise."""
+
+        def campaign(backend):
+            rafiki = Rafiki(
+                cassandra, tiny_surrogate, PARAMS, seed=0, rr_cache_resolution=0.01
+            )
+            rafiki.optimizer.population_size = 8
+            rafiki.optimizer.generations = 3
+            # 0.62 repeats across tenants: worker-duplicated searches
+            # must merge into ONE cache entry and ONE seed-stream burn.
+            specs = [
+                spec("a", [0.20, 0.62], seed=1, policy=OraclePolicy()),
+                spec("b", [0.62, 0.80], seed=2, policy=OraclePolicy()),
+                spec("c", [0.47, 0.62], seed=3, policy=OraclePolicy()),
+            ]
+            summary, log, rafiki = run_campaign(
+                cassandra, specs, backend=backend, rafiki=rafiki
+            )
+            return (
+                summary,
+                log,
+                (rafiki.cache.stats.hits, rafiki.cache.stats.misses),
+                list(rafiki.cache._entries.keys()),
+                dict(rafiki.seeds._counts),
+            )
+
+        serial = campaign(None)
+        sharded = campaign(ProcessPoolBackend(workers=2))
+        assert sharded == serial
+
+
+class TestEngineExecutionTenants:
+    ENGINE_WORKLOAD = WorkloadSpec(read_ratio=0.9, n_keys=2000, krd_mean_ops=300)
+
+    def engine_spec(self, **kwargs):
+        return TenantSpec(
+            tenant_id="eng",
+            rr_series=[0.9, 0.5],
+            base_workload=self.ENGINE_WORKLOAD,
+            seed=1,
+            window_seconds=5,
+            load=True,
+            execution="engine",
+            **kwargs,
+        )
+
+    def test_engine_tenant_serial_matches_sharded(self, cassandra):
+        def campaign(backend):
+            scheduler = MiddlewareScheduler(
+                cassandra, CachingFakeRafiki(cassandra), backend=backend
+            )
+            scheduler.add_tenant(self.engine_spec())
+            run = scheduler.run()["eng"]
+            return [(e.window_index, e.mean_throughput) for e in run.events]
+
+        serial = campaign(None)
+        assert serial == campaign(SerialBackend())
+        assert any(tp > 0 for _, tp in serial)
+
+    def test_engine_execution_is_single_node_only(self):
+        with pytest.raises(SearchError, match="single-node"):
+            self.engine_spec(n_nodes=3)
+
+    def test_adapter_validates_execution_mode(self, cassandra):
+        config = cassandra.default_configuration()
+        with pytest.raises(DatastoreError, match="execution"):
+            SimulatedDatastoreAdapter(cassandra, config, execution="quantum")
+        with pytest.raises(DatastoreError, match="workload"):
+            SimulatedDatastoreAdapter(cassandra, config, execution="engine")
+        with pytest.raises(DatastoreError, match="single-node"):
+            SimulatedDatastoreAdapter(
+                cassandra,
+                config,
+                execution="engine",
+                workload=self.ENGINE_WORKLOAD,
+                n_nodes=3,
+            )
