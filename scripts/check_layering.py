@@ -60,6 +60,25 @@ LAYERS = {
     "__init__": 9,  # the package root facade re-exports everything
 }
 
+#: Intra-package sublayers (second path component -> sub-rank) for
+#: packages whose internal import order is itself a contract.  The
+#: middleware's guard stack sits *below* the session/scheduler tiers it
+#: protects: slo/breaker/ledger are leaf vocabulary, guard composes
+#: them, session consults a guard (duck-typed, no import), the scheduler
+#: owns the ledger, and the manifest builds specs for all of it.
+SUBLAYERS = {
+    "middleware": {
+        "slo": 0,
+        "breaker": 0,
+        "ledger": 0,
+        "guard": 1,
+        "session": 2,
+        "scheduler": 3,
+        "manifest": 4,
+        "__init__": 5,  # the package facade re-exports every tier
+    },
+}
+
 
 def module_name(path: Path, src: Path) -> str:
     rel = path.relative_to(src).with_suffix("")
@@ -70,7 +89,12 @@ def module_name(path: Path, src: Path) -> str:
 
 
 def layer_of(module: str):
-    """Rank of a ``repro...`` dotted module name, or None if foreign."""
+    """Rank of a ``repro...`` module, or None if foreign.
+
+    Ranks are ``(layer, sublayer)`` tuples so packages listed in
+    SUBLAYERS get their internal order checked too; elsewhere the
+    sublayer is 0 and the comparison degenerates to the layer rank.
+    """
     parts = module.split(".")
     if parts[0] != "repro":
         return None
@@ -80,7 +104,23 @@ def layer_of(module: str):
             f"unknown subpackage 'repro.{head}' — add it to LAYERS in "
             f"{__file__} (pick its rank deliberately)"
         )
-    return LAYERS[head]
+    sub = 0
+    if head in SUBLAYERS:
+        name = parts[2] if len(parts) > 2 else "__init__"
+        if name not in SUBLAYERS[head]:
+            raise SystemExit(
+                f"unknown module 'repro.{head}.{name}' — add it to "
+                f"SUBLAYERS[{head!r}] in {__file__} (pick its sub-rank "
+                "deliberately)"
+            )
+        sub = SUBLAYERS[head][name]
+    return (LAYERS[head], sub)
+
+
+def rank_label(rank) -> str:
+    """Human form of a ``(layer, sublayer)`` rank: ``8.1``, or just ``8``."""
+    layer, sub = rank
+    return f"{layer}.{sub}" if sub else str(layer)
 
 
 def import_time_nodes(tree: ast.AST):
@@ -124,7 +164,8 @@ def check(src: Path):
                 if target_rank > importer_rank:
                     violations.append(
                         f"{path}:{node.lineno}: {importer} (rank "
-                        f"{importer_rank}) -> {target} (rank {target_rank})"
+                        f"{rank_label(importer_rank)}) -> {target} "
+                        f"(rank {rank_label(target_rank)})"
                     )
     return violations
 

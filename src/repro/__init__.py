@@ -71,8 +71,11 @@ from repro.core import (
     select_key_parameters,
 )
 from repro.middleware import (
+    GuardSpec,
     MiddlewareScheduler,
     SimulatedDatastoreAdapter,
+    SloSpec,
+    TenantGuard,
     TenantSession,
     TenantSpec,
     load_manifest,
@@ -135,6 +138,9 @@ __all__ = [
     "TenantSpec",
     "SimulatedDatastoreAdapter",
     "load_manifest",
+    "SloSpec",
+    "GuardSpec",
+    "TenantGuard",
     # fault injection
     "FaultPlan",
     "FaultInjector",

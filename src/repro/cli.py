@@ -48,7 +48,7 @@ from repro.core.policies import HysteresisPolicy, make_policy
 from repro.core.rafiki import Rafiki
 from repro.core.surrogate import SurrogateModel
 from repro.datastore import CassandraLike, ScyllaLike
-from repro.errors import PersistenceError
+from repro.errors import GuardError, PersistenceError, SearchError
 from repro.faults import FaultPlan
 from repro.middleware import (
     MiddlewareScheduler,
@@ -366,13 +366,35 @@ def cmd_serve(args) -> int:
             lambda e: print(f"   {e.message}"),
             topic="scheduler",
         )
-    scheduler = MiddlewareScheduler(
-        datastore, rafiki, events=events, workers=args.workers
+        events.subscribe(
+            lambda e: print(f"   {e.message}"),
+            topic="guard",
+        )
+    cluster_capacity = (
+        args.cluster_capacity
+        if args.cluster_capacity is not None
+        else manifest.cluster_capacity
     )
-    for spec in specs:
-        scheduler.add_tenant(spec)
+    try:
+        scheduler = MiddlewareScheduler(
+            datastore,
+            rafiki,
+            events=events,
+            workers=args.workers,
+            cluster_capacity=cluster_capacity,
+            shedding=manifest.shedding,
+        )
+        for spec in specs:
+            scheduler.add_tenant(spec)
+    except (GuardError, SearchError) as exc:
+        print(f"bad fleet: {exc}", file=sys.stderr)
+        return 1
     results = scheduler.run()
     print(f"tenants:          {len(results)}  ({manifest.source})")
+    guard_report = scheduler.guard_report()
+    guarded = cluster_capacity is not None or any(
+        scheduler.session(spec.tenant_id).guard is not None for spec in specs
+    )
     for spec in specs:
         run = results[spec.tenant_id]
         line = (
@@ -387,7 +409,24 @@ def cmd_serve(args) -> int:
                 f"  {restarted_nodes[spec.tenant_id]} node restarts "
                 f"({restart_loss[spec.tenant_id]:,.0f} ops lost)"
             )
+        if guarded:
+            # The guard columns only appear on guarded fleets, so an
+            # unguarded serve prints byte-identical output to before.
+            entry = guard_report[spec.tenant_id]
+            line += f"  {entry['sheds']:>2} shed"
+            if entry["slo"] is not None:
+                line += f"  SLO {entry['slo']['attainment']:>6.1%}"
+            if entry["breakers"] is not None:
+                opens = sum(b["opens"] for b in entry["breakers"].values())
+                line += f"  {opens} breaker opens"
         print(line)
+    if guarded and scheduler.ledger is not None:
+        ledger = scheduler.ledger
+        print(
+            f"cluster:          {ledger.capacity:,.0f} ops/s capacity, "
+            f"{ledger.rounds_overloaded}/{ledger.rounds_planned} rounds "
+            f"overloaded, {sum(ledger.shed_counts.values())} windows shed"
+        )
     return 0
 
 
@@ -561,6 +600,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="override every tenant's campaign length",
+    )
+    p.add_argument(
+        "--cluster-capacity",
+        type=float,
+        default=None,
+        help="shared-cluster capacity (ops/s) for admission control; "
+        "overrides the manifest's [guard] cluster_capacity",
     )
     p.set_defaults(func=cmd_serve)
 

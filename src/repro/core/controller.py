@@ -102,6 +102,8 @@ class ControllerEvent:
     mean_throughput: float
     rolled_back: bool = False
     degraded: bool = False
+    #: Admission control deferred this whole window (nothing was served).
+    shed: bool = False
 
 
 @dataclass
@@ -127,6 +129,10 @@ class ControllerRun:
     @property
     def degraded_count(self) -> int:
         return sum(1 for e in self.events if e.degraded)
+
+    @property
+    def shed_count(self) -> int:
+        return sum(1 for e in self.events if e.shed)
 
 
 class OnlineController:

@@ -59,6 +59,26 @@ class FaultError(ReproError):
     """
 
 
+class MiddlewareError(ReproError):
+    """The multi-tenant middleware was misused or hit an unservable state.
+
+    Raised by the serve layer for conditions that are not a single
+    tenant's fault — e.g. a sharded window round whose shared
+    recommendation cache evicted mid-round, which would silently break
+    the sharded-equals-serial bit-identity contract.
+    """
+
+
+class GuardError(MiddlewareError):
+    """An overload-protection (guard) spec or component was misconfigured.
+
+    Raised for invalid SLO specs (negative throughput floors, error
+    budgets outside [0, 1]), breaker/bulkhead settings that cannot work
+    (zero failure thresholds, empty spans), and capacity ledgers with a
+    non-positive modeled capacity.
+    """
+
+
 class TransientError(FaultError):
     """A retryable fault: the same operation may succeed if reissued.
 

@@ -15,6 +15,14 @@ a datastore fleet.  This package is that service layer, in four tiers:
 * **Entry** — tenant manifests (:func:`load_manifest`,
   :func:`specs_from_manifest`) feeding ``python -m repro serve``.
 
+Overload protection rides below the session tier: per-tenant
+:class:`TenantGuard` facades compose an :class:`SloTracker` (rolling
+error budget over an :class:`SloSpec`), circuit breakers around search
+and actuation, and bulkhead budgets; the scheduler's
+:class:`CapacityLedger` adds shared-cluster admission control and
+deterministic priority shedding.  All of it is off by default — an
+unguarded run is bit-identical to the pre-guard scheduler.
+
 The legacy single-tenant ``OnlineController`` API survives as a thin
 shim over one session; its runs are bit-identical to before.
 """
@@ -24,6 +32,9 @@ from repro.datastore.adapter import (
     RollingRestartReport,
     SimulatedDatastoreAdapter,
 )
+from repro.middleware.breaker import CircuitBreaker
+from repro.middleware.guard import GuardSpec, TenantGuard
+from repro.middleware.ledger import CapacityLedger
 from repro.middleware.manifest import (
     TenantManifest,
     load_manifest,
@@ -37,6 +48,7 @@ from repro.middleware.session import (
     TenantSession,
     WindowState,
 )
+from repro.middleware.slo import SloSpec, SloTracker
 
 __all__ = [
     "DatastoreAdapter",
@@ -52,4 +64,10 @@ __all__ = [
     "load_manifest",
     "parse_manifest",
     "specs_from_manifest",
+    "SloSpec",
+    "SloTracker",
+    "CircuitBreaker",
+    "GuardSpec",
+    "TenantGuard",
+    "CapacityLedger",
 ]

@@ -1,0 +1,92 @@
+"""Shared-cluster capacity ledger: admission control and load shedding.
+
+The scheduler multiplexes N tenants over one modeled cluster.  Without
+admission control, aggregate demand beyond the cluster's capacity means
+*every* tenant silently degrades — the failure mode the paper's
+middleware exists to prevent.  The ledger makes the capacity explicit:
+each round, every active tenant's window is charged with its demand
+estimate (its previous window's served throughput), and when the
+aggregate exceeds ``capacity`` a deterministic priority shedder defers
+whole tenant windows until the rest fit.
+
+Shedding order is supplied by the scheduler (manifest ``priority=``
+first, error-budget-remaining tiebreak, registration order last), so the
+same fleet + seed always sheds the same tenants in the same rounds —
+serial and sharded serve agree bitwise.
+
+With ``shedding=False`` the ledger still models the overload: the round
+returns a capacity factor < 1 and every admitted tenant's window is
+scaled down proportionally — the "everyone silently degrades" baseline
+the smoke test measures the guard layer against.
+"""
+
+from __future__ import annotations
+
+from math import isfinite
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import GuardError
+
+
+class CapacityLedger:
+    """Charges tenant windows against one modeled cluster capacity."""
+
+    def __init__(self, capacity: float, shedding: bool = True):
+        if not isfinite(capacity) or capacity <= 0:
+            raise GuardError(
+                f"cluster capacity must be a positive number, got {capacity!r}"
+            )
+        self.capacity = float(capacity)
+        self.shedding = bool(shedding)
+        self.rounds_planned = 0
+        self.rounds_overloaded = 0
+        self.charged: Dict[str, float] = {}      # tenant -> admitted demand sum
+        self.shed_counts: Dict[str, int] = {}    # tenant -> windows shed
+
+    def plan_round(
+        self,
+        demands: Dict[str, float],
+        shed_order: Sequence[str],
+    ) -> Tuple[List[str], float]:
+        """Decide one round: who is shed, and the capacity factor.
+
+        ``demands`` maps every active tenant to its demand estimate
+        (ops/s); ``shed_order`` lists the same tenants most-sheddable
+        first.  Returns ``(shed, factor)``: the tenants whose windows
+        are deferred this round, and the throughput scale (1.0 when the
+        admitted aggregate fits, ``capacity / aggregate`` when it does
+        not — shedding disabled or zero-demand rounds that still
+        overflow).
+        """
+        self.rounds_planned += 1
+        total = float(sum(demands.values()))
+        if total > self.capacity:
+            self.rounds_overloaded += 1
+        shed: List[str] = []
+        if self.shedding and total > self.capacity:
+            for tenant in shed_order:
+                if total <= self.capacity:
+                    break
+                demand = demands[tenant]
+                if demand <= 0.0:
+                    continue  # shedding a zero-demand window frees nothing
+                shed.append(tenant)
+                total -= demand
+        factor = 1.0
+        if total > self.capacity:
+            factor = self.capacity / total
+        for tenant, demand in demands.items():
+            if tenant in shed:
+                self.shed_counts[tenant] = self.shed_counts.get(tenant, 0) + 1
+            else:
+                self.charged[tenant] = (
+                    self.charged.get(tenant, 0.0) + demand * factor
+                )
+        return shed, factor
+
+    def __repr__(self) -> str:
+        return (
+            f"CapacityLedger(capacity={self.capacity:,.0f} ops/s, "
+            f"{self.rounds_overloaded}/{self.rounds_planned} rounds overloaded, "
+            f"{sum(self.shed_counts.values())} windows shed)"
+        )

@@ -24,9 +24,31 @@ and builds the :class:`~repro.middleware.scheduler.TenantSpec` list a
     canary_margin = 0.2
     fault_seed = 7
 
+Overload protection is declared the same way: a top-level ``[guard]``
+section sets the shared cluster's modeled ``cluster_capacity`` (ops/s)
+and whether ``shedding`` is enabled, and each tenant (or ``[defaults]``)
+may carry nested ``slo`` / ``guard`` stanzas plus a ``priority``::
+
+    [guard]
+    cluster_capacity = 250000
+
+    [[tenants]]
+    id = "assembly-day"
+    priority = 0                   # lower = more important = shed last
+
+    [tenants.slo]
+    throughput_floor = 40000
+    window_span = 8
+    error_budget = 0.25
+
+    [tenants.guard]
+    breaker_failures = 3
+    max_restarts = 2
+
 Unknown keys are rejected (manifests must not silently drift from the
-schema), ``[defaults]`` applies to every tenant that does not override,
-and tenant order in the file is the scheduler's deterministic execution
+schema) — including inside the nested ``slo`` / ``guard`` stanzas —
+``[defaults]`` applies to every tenant that does not override, and
+tenant order in the file is the scheduler's deterministic execution
 order.
 """
 
@@ -37,9 +59,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 from repro.core.policies import HysteresisPolicy, make_policy
-from repro.errors import PersistenceError, SearchError
+from repro.errors import GuardError, PersistenceError, SearchError
 from repro.faults.plan import FaultPlan
+from repro.middleware.guard import GUARD_STANZA_KEYS, GuardSpec
 from repro.middleware.scheduler import TenantSpec
+from repro.middleware.slo import SLO_STANZA_KEYS, SloSpec
 from repro.workload.forecast import MarkovRegimeForecaster
 from repro.workload.mgrast import MGRastTraceGenerator
 from repro.workload.spec import mgrast_workload
@@ -64,8 +88,14 @@ TENANT_KEYS = frozenset(
         "restart_policy",
         "restart_seconds_per_node",
         "load",
+        "priority",
+        "slo",
+        "guard",
     }
 )
+
+#: Keys the top-level ``[guard]`` section may set.
+GUARD_SECTION_KEYS = frozenset({"cluster_capacity", "shedding"})
 
 _TENANT_DEFAULTS: Dict[str, Any] = {
     "mode": "oracle",
@@ -83,6 +113,9 @@ _TENANT_DEFAULTS: Dict[str, Any] = {
     "restart_policy": "instant",
     "restart_seconds_per_node": 30.0,
     "load": True,
+    "priority": 0,
+    "slo": None,
+    "guard": None,
 }
 
 
@@ -92,6 +125,9 @@ class TenantManifest:
 
     tenants: List[Dict[str, Any]]
     source: str = "<memory>"
+    #: Shared-cluster admission control (``[guard]`` section); None = off.
+    cluster_capacity: Optional[float] = None
+    shedding: bool = True
 
     def __len__(self) -> int:
         return len(self.tenants)
@@ -126,14 +162,44 @@ def load_manifest(path) -> TenantManifest:
     return parse_manifest(_parse_document(text, str(path)), source=str(path))
 
 
+def _check_stanza(
+    stanza: Any, allowed: frozenset, label: str, source: str
+) -> None:
+    """Validate one nested ``slo`` / ``guard`` stanza's shape and keys."""
+    if stanza is None:
+        return
+    if not isinstance(stanza, dict):
+        raise PersistenceError(f"manifest {source}: {label} must be a table")
+    bad = set(stanza) - allowed
+    if bad:
+        raise PersistenceError(
+            f"manifest {source}: {label} has unknown key(s) {sorted(bad)}"
+        )
+
+
+def _merge_stanza(base: Optional[dict], override: Optional[dict]) -> Optional[dict]:
+    """Merge a tenant's nested stanza over the defaults', key by key."""
+    if base is None and override is None:
+        return None
+    return {**(base or {}), **(override or {})}
+
+
 def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> TenantManifest:
     """Validate a manifest document and apply ``[defaults]``."""
     if not isinstance(document, dict):
         raise PersistenceError(f"manifest {source} must be a table/object")
-    unknown_sections = set(document) - {"defaults", "tenants"}
+    unknown_sections = set(document) - {"defaults", "tenants", "guard"}
     if unknown_sections:
         raise PersistenceError(
             f"manifest {source} has unknown section(s) {sorted(unknown_sections)}"
+        )
+    guard_section = document.get("guard", {})
+    if not isinstance(guard_section, dict):
+        raise PersistenceError(f"manifest {source}: [guard] must be a table")
+    bad = set(guard_section) - GUARD_SECTION_KEYS
+    if bad:
+        raise PersistenceError(
+            f"manifest {source}: unknown [guard] key(s) {sorted(bad)}"
         )
     defaults = document.get("defaults", {})
     if not isinstance(defaults, dict):
@@ -143,6 +209,12 @@ def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> Tenant
         raise PersistenceError(
             f"manifest {source}: unknown default key(s) {sorted(bad)}"
         )
+    _check_stanza(
+        defaults.get("slo"), SLO_STANZA_KEYS, "[defaults.slo]", source
+    )
+    _check_stanza(
+        defaults.get("guard"), GUARD_STANZA_KEYS, "[defaults.guard]", source
+    )
     raw_tenants = document.get("tenants")
     if not isinstance(raw_tenants, list) or not raw_tenants:
         raise PersistenceError(
@@ -158,7 +230,19 @@ def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> Tenant
             raise PersistenceError(
                 f"manifest {source}: tenant #{i} has unknown key(s) {sorted(bad)}"
             )
+        _check_stanza(
+            entry.get("slo"), SLO_STANZA_KEYS, f"tenant #{i} [slo]", source
+        )
+        _check_stanza(
+            entry.get("guard"), GUARD_STANZA_KEYS, f"tenant #{i} [guard]", source
+        )
         merged = {**_TENANT_DEFAULTS, **defaults, **entry}
+        # Nested stanzas merge key-wise, not wholesale: a tenant's [slo]
+        # refines the [defaults.slo] baseline instead of replacing it.
+        for stanza in ("slo", "guard"):
+            merged[stanza] = _merge_stanza(
+                defaults.get(stanza), entry.get(stanza)
+            )
         tenant_id = merged.get("id")
         if not tenant_id or not isinstance(tenant_id, str):
             raise PersistenceError(
@@ -170,7 +254,24 @@ def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> Tenant
             )
         seen.add(tenant_id)
         tenants.append(merged)
-    return TenantManifest(tenants=tenants, source=source)
+    capacity = guard_section.get("cluster_capacity")
+    if capacity is not None and (
+        not isinstance(capacity, (int, float)) or isinstance(capacity, bool)
+    ):
+        raise PersistenceError(
+            f"manifest {source}: [guard] cluster_capacity must be a number"
+        )
+    shedding = guard_section.get("shedding", True)
+    if not isinstance(shedding, bool):
+        raise PersistenceError(
+            f"manifest {source}: [guard] shedding must be a boolean"
+        )
+    return TenantManifest(
+        tenants=tenants,
+        source=source,
+        cluster_capacity=float(capacity) if capacity is not None else None,
+        shedding=shedding,
+    )
 
 
 def specs_from_manifest(
@@ -203,6 +304,16 @@ def specs_from_manifest(
                     n_nodes=entry["nodes"],
                     slowdown_probability=0.05 if entry["nodes"] > 1 else 0.0,
                 )
+            slo = (
+                SloSpec.from_dict(entry["slo"])
+                if entry["slo"] is not None
+                else None
+            )
+            guard = (
+                GuardSpec.from_dict(entry["guard"])
+                if entry["guard"] is not None
+                else None
+            )
             specs.append(
                 TenantSpec(
                     tenant_id=entry["id"],
@@ -220,9 +331,12 @@ def specs_from_manifest(
                     restart_policy=entry["restart_policy"],
                     restart_seconds_per_node=entry["restart_seconds_per_node"],
                     load=bool(entry["load"]),
+                    priority=int(entry["priority"]),
+                    slo=slo,
+                    guard=guard,
                 )
             )
-        except (SearchError, TypeError, ValueError) as exc:
+        except (GuardError, SearchError, TypeError, ValueError) as exc:
             raise PersistenceError(
                 f"manifest {manifest.source}: tenant {entry['id']!r}: {exc}"
             ) from exc

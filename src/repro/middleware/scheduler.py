@@ -33,9 +33,28 @@ the GA search is deterministic given the round-start seed stream,
 two tenants racing the same regime in one round compute the *same*
 result the serial run's cache hit would have returned, so sharded runs
 are bit-identical to serial (see ``tests/test_sharded_scheduler.py``).
-Caveats: the guarantee assumes the rafiki's own event bus is unset
-(worker copies cannot replay mid-search progress events) and that the
-recommendation cache does not evict within a single round.
+The rafiki's own event bus must be unset (worker copies cannot replay
+mid-search progress events).  The second historical caveat — the
+recommendation cache evicting *within* one window round — is now
+detected instead of silently breaking bit-identity: a round whose
+current-window regimes cannot all fit the cache falls back to the serial
+loop for that round (``scheduler.serial_fallback`` event), and an
+eviction that still slips through (a policy searching a regime the
+pre-round estimate could not see) raises
+:class:`~repro.errors.MiddlewareError` rather than returning results
+that may diverge from a serial run.
+
+**Overload protection.**  ``cluster_capacity=`` activates the guard
+layer's admission control (see :mod:`repro.middleware.ledger`): each
+round, every active tenant's window is charged with its demand estimate
+(previous window's served throughput) against the shared cluster's
+modeled capacity.  When aggregate demand overflows, a deterministic
+priority shedder (``TenantSpec.priority`` — higher sheds first — with
+error-budget-remaining, then reverse registration order, as tiebreaks)
+defers whole tenant windows (``guard.shed`` events, ``shed=True``
+windows) rather than letting every tenant silently degrade; whatever
+overflow shedding cannot remove (or all of it, with ``shedding=False``)
+scales every admitted window by the round's capacity factor.
 """
 
 from __future__ import annotations
@@ -43,6 +62,8 @@ from __future__ import annotations
 import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.cache import RecommendationCache
 from repro.core.controller import ControllerRun, RetryPolicy
@@ -52,10 +73,18 @@ from repro.datastore.adapter import (
     SimulatedDatastoreAdapter,
 )
 from repro.datastore.base import Datastore
-from repro.errors import SearchError
+from repro.errors import MiddlewareError, SearchError
 from repro.faults.plan import FaultPlan
+from repro.middleware.guard import GuardSpec, TenantGuard
+from repro.middleware.ledger import CapacityLedger
 from repro.middleware.session import TenantSession
-from repro.runtime.backend import ExecutionBackend, resolve_backend
+from repro.middleware.slo import SloSpec
+from repro.runtime.backend import (
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    resolve_backend,
+)
 from repro.runtime.events import EventBus
 from repro.sim.clock import SimClock
 from repro.sim.rng import SeedSequence
@@ -109,6 +138,8 @@ def _attach_session_bus(session: TenantSession, bus) -> None:
     session.adapter.events = bus
     if session._injector is not None:
         session._injector.events = bus
+    if session.guard is not None:
+        session.guard.events = bus
 
 
 def _shard_window_worker(task):
@@ -120,14 +151,14 @@ def _shard_window_worker(task):
     the parent.  Returns ``(session, event_records, search_records)``
     with the buses stripped again for the trip home.
     """
-    tenant_id, read_ratio, session, rafiki_blob = task
+    tenant_id, read_ratio, capacity_factor, session, rafiki_blob = task
     recorder = _RecordingBus()
     _attach_session_bus(session, recorder.scoped(f"tenant.{tenant_id}"))
     searches: List[tuple] = []
     if rafiki_blob is not None:
         session.rafiki = _RecordingRafiki(pickle.loads(rafiki_blob), searches)
     try:
-        session.step(read_ratio)
+        session.step(read_ratio, capacity_factor=capacity_factor)
     finally:
         _attach_session_bus(session, None)
         session.rafiki = None
@@ -157,6 +188,11 @@ class TenantSpec:
     load: bool = True
     trace_phases: bool = False
     execution: str = "analytic"    # "analytic" | "engine" (materialized LSM)
+    # Overload protection (all optional; None keeps the tenant unguarded):
+    # lower priority = more important = shed last under admission control.
+    priority: int = 0
+    slo: Optional[SloSpec] = None
+    guard: Optional[GuardSpec] = None
 
     def __post_init__(self):
         if not self.tenant_id or self.tenant_id != self.tenant_id.strip():
@@ -196,23 +232,56 @@ class MiddlewareScheduler:
         *,
         events: Optional[EventBus] = None,
         clock: Optional[SimClock] = None,
-        backend: Optional[ExecutionBackend] = None,
+        backend=None,
         workers: Optional[int] = None,
+        cluster_capacity: Optional[float] = None,
+        shedding: bool = True,
     ):
         self.datastore = datastore
         self.rafiki = rafiki
         self.events = events or EventBus()
         self.clock = clock or SimClock()
+        # Up-front validation: a bad workers/backend combination used to
+        # surface windows later as an opaque crash inside the round loop.
+        if workers is not None and workers < 1:
+            raise SearchError(
+                f"workers must be >= 1, got {workers} "
+                "(1 = serial, N > 1 = process-pool sharded rounds)"
+            )
+        if isinstance(backend, str):
+            if backend == "serial":
+                backend = SerialBackend()
+            elif backend == "process":
+                if workers is None:
+                    raise SearchError(
+                        'backend="process" needs workers=N to size the '
+                        "pool (pass workers=2 or more, or pass a "
+                        "ProcessPoolBackend instance directly)"
+                    )
+                backend = ProcessPoolBackend(workers)
+            else:
+                raise SearchError(
+                    f"unknown backend {backend!r} (serial | process, or an "
+                    "ExecutionBackend instance)"
+                )
         # backend=None and workers in (None, 1) keep the legacy in-process
         # serial loop; an explicit backend (even SerialBackend, useful for
         # exercising the shard protocol without processes) or workers > 1
         # routes every round through the sharded path.
         if backend is not None:
-            self.backend = backend
+            self.backend: Optional[ExecutionBackend] = backend
         elif workers is not None and workers > 1:
             self.backend = resolve_backend(workers=workers)
         else:
             self.backend = None
+        # cluster_capacity activates admission control + the overload
+        # model; None (the default) keeps runs bit-identical to the
+        # unguarded scheduler.
+        self.ledger = (
+            CapacityLedger(cluster_capacity, shedding=shedding)
+            if cluster_capacity is not None
+            else None
+        )
         self._tenants: Dict[str, tuple] = {}   # id -> (spec, session); ordered
 
     @property
@@ -243,11 +312,20 @@ class MiddlewareScheduler:
             execution=spec.execution,
             workload=spec.base_workload,
         )
+        guard = None
+        if spec.slo is not None or spec.guard is not None:
+            guard = TenantGuard(
+                spec.tenant_id,
+                slo=spec.slo,
+                spec=spec.guard or GuardSpec(),
+                events=scoped,
+            )
         session = TenantSession(
             self.datastore,
             self.rafiki if spec.use_rafiki else None,
             adapter,
             spec.policy,
+            guard=guard,
             tenant_id=spec.tenant_id,
             window_seconds=spec.window_seconds,
             reconfiguration_penalty_s=spec.reconfiguration_penalty_s,
@@ -293,12 +371,31 @@ class MiddlewareScheduler:
                 (self._tenants[t][0].window_seconds for t in active),
                 default=0.0,
             )
-            if self.backend is None:
+            shed, factor = self._plan_round(w, active)
+            sharded = self.backend is not None
+            if sharded and self._eviction_risk(
+                w, [t for t in active if t not in shed]
+            ):
+                # The round's regimes cannot all fit the shared cache:
+                # sharding would evict mid-round and break bit-identity
+                # with the serial loop, so run this round serially.
+                self.events.publish(
+                    "scheduler.serial_fallback",
+                    f"window round {w}: recommendation cache too small for "
+                    "the round's regimes; running the round serially",
+                    window=w,
+                    reason="cache-eviction-risk",
+                )
+                sharded = False
+            if sharded:
+                self._run_round_sharded(w, active, shed, factor)
+            else:
                 for tenant_id in active:
                     spec, session = self._tenants[tenant_id]
-                    session.step(spec.rr_series[w])
-            else:
-                self._run_round_sharded(w, active)
+                    if tenant_id in shed:
+                        session.record_shed_window(spec.rr_series[w])
+                    else:
+                        session.step(spec.rr_series[w], capacity_factor=factor)
             self.clock.advance(round_seconds)
             self.events.publish(
                 "scheduler.window",
@@ -319,21 +416,140 @@ class MiddlewareScheduler:
         )
         return results
 
+    # -- admission control ------------------------------------------------------
+
+    def _demand(self, tenant_id: str) -> float:
+        """Demand estimate for the next window: last served throughput."""
+        events = self._tenants[tenant_id][1].result.events
+        return float(events[-1].mean_throughput) if events else 0.0
+
+    def _shed_order(self, active: Sequence[str]) -> List[str]:
+        """Active tenants, most-sheddable first.
+
+        Highest ``priority`` number sheds first; among equals the tenant
+        with the most SLO error budget remaining sheds first (it can
+        afford the miss — tenants without an SLO count as infinite
+        budget: no promise, no protection), and later registration
+        breaks the final tie.
+        """
+        order = list(self._tenants)
+
+        def key(tenant_id: str):
+            spec, session = self._tenants[tenant_id]
+            budget = (
+                session.guard.budget_remaining
+                if session.guard is not None
+                else float("inf")
+            )
+            return (-spec.priority, -budget, -order.index(tenant_id))
+
+        return sorted(active, key=key)
+
+    def _plan_round(self, w: int, active: Sequence[str]):
+        """Admission-control one round; returns (shed tenant set, factor)."""
+        if self.ledger is None:
+            return frozenset(), 1.0
+        demands = {t: self._demand(t) for t in active}
+        shed, factor = self.ledger.plan_round(demands, self._shed_order(active))
+        for tenant_id in active:      # registration order, deterministically
+            if tenant_id in shed:
+                spec, _ = self._tenants[tenant_id]
+                self.events.publish(
+                    "guard.shed",
+                    f"window round {w}: shedding tenant {tenant_id!r} "
+                    f"(demand {demands[tenant_id]:,.0f} ops/s, "
+                    f"priority {spec.priority})",
+                    tenant=tenant_id,
+                    window=w,
+                    demand=demands[tenant_id],
+                    capacity=self.ledger.capacity,
+                    priority=spec.priority,
+                )
+        return frozenset(shed), factor
+
+    def guard_report(self) -> Dict[str, dict]:
+        """Per-tenant overload-protection summary (after or mid-run)."""
+        report = {}
+        for tenant_id, (spec, session) in self._tenants.items():
+            entry: dict = {
+                "priority": spec.priority,
+                "sheds": sum(1 for e in session.result.events if e.shed),
+                "slo": None,
+                "breakers": None,
+            }
+            guard = session.guard
+            if guard is not None:
+                if guard.slo is not None:
+                    entry["slo"] = {
+                        "attainment": guard.slo.attainment,
+                        "violations": guard.slo.violations,
+                        "budget_remaining": guard.slo.budget_remaining,
+                        "budget_exhausted": guard.slo.budget_exhausted,
+                    }
+                entry["breakers"] = {
+                    breaker.name: {
+                        "state": breaker.state,
+                        "opens": breaker.opened_count,
+                        "short_circuits": breaker.short_circuits,
+                    }
+                    for breaker in (guard.search_breaker, guard.push_breaker)
+                }
+            report[tenant_id] = entry
+        return report
+
     # -- sharded rounds ---------------------------------------------------------
 
-    def _run_round_sharded(self, w: int, active: Sequence[str]) -> None:
+    def _eviction_risk(self, w: int, tenants: Sequence[str]) -> bool:
+        """Could this round's searches evict from the shared cache?
+
+        Conservative pre-round estimate over the tenants' *current*
+        window regimes (what an oracle policy would search).  Duck-typed
+        recommenders without a real :class:`RecommendationCache` are the
+        generic replay path and exempt.
+        """
+        cache = getattr(self.rafiki, "cache", None)
+        if not isinstance(cache, RecommendationCache):
+            return False
+        new_keys = set()
+        for tenant_id in tenants:
+            spec, _ = self._tenants[tenant_id]
+            if not spec.use_rafiki:
+                continue
+            rr = float(np.clip(spec.rr_series[w], 0.0, 1.0))
+            key = cache.quantize(rr)
+            if key not in cache:
+                new_keys.add(key)
+        return len(cache) + len(new_keys) > cache.capacity
+
+    def _run_round_sharded(
+        self,
+        w: int,
+        active: Sequence[str],
+        shed: frozenset = frozenset(),
+        factor: float = 1.0,
+    ) -> None:
         """Fan one window round out over the backend's workers.
 
         Workers receive bus-stripped sessions plus one shared pickle of
         the round-start rafiki state; results are merged back in
         registration order (the lockstep barrier), so the shared cache,
         seed streams, and event log evolve exactly as a serial round's.
+        Shed tenants never travel: their zero-throughput windows are
+        recorded parent-side at their registration slot, exactly where
+        the serial loop would have recorded them.
         """
+        served = [t for t in active if t not in shed]
         blob = self._rafiki_blob() if any(
-            self._tenants[t][0].use_rafiki for t in active
+            self._tenants[t][0].use_rafiki for t in served
         ) else None
+        cache = getattr(self.rafiki, "cache", None)
+        evictions_before = (
+            cache.stats.evictions
+            if isinstance(cache, RecommendationCache)
+            else None
+        )
         tasks = []
-        for tenant_id in active:
+        for tenant_id in served:
             spec, session = self._tenants[tenant_id]
             _attach_session_bus(session, None)
             session.rafiki = None
@@ -341,6 +557,7 @@ class MiddlewareScheduler:
                 (
                     tenant_id,
                     float(spec.rr_series[w]),
+                    float(factor),
                     session,
                     blob if spec.use_rafiki else None,
                 )
@@ -350,17 +567,31 @@ class MiddlewareScheduler:
         finally:
             # On a worker-raised error the parent-side sessions are left
             # bus-stripped; restore them so the scheduler stays usable.
-            for tenant_id in active:
+            for tenant_id in served:
                 spec, session = self._tenants[tenant_id]
                 self._reattach(spec, session)
-        for tenant_id, outcome in zip(active, outcomes):
-            session, event_records, search_records = outcome
-            spec, _ = self._tenants[tenant_id]
+        results = iter(outcomes)
+        for tenant_id in active:
+            spec, session = self._tenants[tenant_id]
+            if tenant_id in shed:
+                session.record_shed_window(spec.rr_series[w])
+                continue
+            session, event_records, search_records = next(results)
             self._reattach(spec, session)
             self._tenants[tenant_id] = (spec, session)
             self._merge_searches(search_records)
             for topic, message, payload in event_records:
                 self.events.publish(topic, message, **payload)
+        if (
+            evictions_before is not None
+            and cache.stats.evictions > evictions_before
+        ):
+            raise MiddlewareError(
+                f"recommendation cache evicted inside sharded window round "
+                f"{w}: sharded results can silently diverge from a serial "
+                "run once round-start cache state is stale. Raise the "
+                "rafiki's cache_capacity or serve serially (workers=1)."
+            )
 
     def _reattach(self, spec: TenantSpec, session: TenantSession) -> None:
         _attach_session_bus(

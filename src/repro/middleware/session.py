@@ -25,6 +25,15 @@ All events publish on the session's bus — hand it a
 ``bus.scoped("tenant.3")`` view and every ``controller.*`` / ``fault.*``
 / ``actuate.*`` topic is namespaced per tenant without touching the
 publish sites.
+
+``guard=`` attaches a :class:`~repro.middleware.guard.TenantGuard`: the
+DECIDE phase consults its search breaker/bulkhead before spending a
+surrogate search, ACTUATE consults the push breaker/bulkhead before
+actuating, and RECORD feeds the sealed window to the SLO tracker.  A
+blocked operation holds the current configuration (never an error), and
+canary *rollbacks* are deliberately never guard-gated — reverting a bad
+push is the safety action.  ``guard=None`` (the default) leaves every
+phase bit-identical to the unguarded loop.
 """
 
 from __future__ import annotations
@@ -64,6 +73,7 @@ class WindowState:
 
     index: int
     read_ratio: float
+    capacity_factor: float = 1.0
     reconfigured: bool = False
     degraded: bool = False
     rolled_back: bool = False
@@ -97,6 +107,7 @@ class TenantSession:
         restart_policy: str = "instant",
         passive_forecaster: Optional[RRForecaster] = None,
         trace_phases: bool = False,
+        guard=None,
     ):
         if restart_policy not in RESTART_POLICIES:
             raise SearchError(
@@ -127,6 +138,10 @@ class TenantSession:
         self.restart_policy = restart_policy
         self.passive_forecaster = passive_forecaster
         self.trace_phases = trace_phases
+        # Optional overload protection (see repro.middleware.guard): SLO
+        # tracking, search/push circuit breakers, bulkhead budgets.
+        # guard=None keeps every phase bit-identical to the unguarded loop.
+        self.guard = guard
 
         self.phase: str = "created"
         self.result = ControllerRun()
@@ -175,14 +190,23 @@ class TenantSession:
 
     # -- one window ------------------------------------------------------------
 
-    def step(self, read_ratio: float) -> ControllerEvent:
-        """Drive one window through every phase; returns its event."""
-        self.begin_window(read_ratio)
+    def step(
+        self, read_ratio: float, capacity_factor: float = 1.0
+    ) -> ControllerEvent:
+        """Drive one window through every phase; returns its event.
+
+        ``capacity_factor`` < 1 models shared-cluster overload (the
+        scheduler's admission control could not shed enough demand):
+        the window's served throughput scales down proportionally.
+        """
+        self.begin_window(read_ratio, capacity_factor=capacity_factor)
         while self._window is not None:
             self.advance_phase()
         return self.result.events[-1]
 
-    def begin_window(self, read_ratio: float) -> WindowState:
+    def begin_window(
+        self, read_ratio: float, capacity_factor: float = 1.0
+    ) -> WindowState:
         """Open a window; phases then advance one at a time."""
         if self.phase == "created":
             raise SearchError("session not started (call start() first)")
@@ -190,12 +214,52 @@ class TenantSession:
             raise SearchError(
                 f"window {self._window.index} still in phase {self.phase!r}"
             )
+        if not (0.0 < capacity_factor <= 1.0):
+            raise SearchError(
+                f"capacity_factor must be in (0, 1], got {capacity_factor!r}"
+            )
         self._window = WindowState(
             index=self._window_index,
             read_ratio=float(np.clip(read_ratio, 0.0, 1.0)),
+            capacity_factor=float(capacity_factor),
         )
         self._set_phase("observe")
         return self._window
+
+    def record_shed_window(self, read_ratio: float) -> ControllerEvent:
+        """Seal one *shed* window: admission control deferred the tenant.
+
+        The workload happened — the middleware just refused to serve it
+        this round — so the policy/forecaster still observe the window's
+        read ratio, but no phase runs, nothing is served, and the sealed
+        event carries ``shed=True`` with zero throughput.  Shed windows
+        burn the tenant's own SLO error budget, which deprioritizes it
+        for the *next* shed decision (shedding rotates across peers).
+        """
+        if self.phase == "created":
+            raise SearchError("session not started (call start() first)")
+        if self._window is not None:
+            raise SearchError(
+                f"window {self._window.index} still in phase {self.phase!r}"
+            )
+        rr = float(np.clip(read_ratio, 0.0, 1.0))
+        self.policy.observe(rr)
+        if self.passive_forecaster is not None:
+            self.passive_forecaster.update(rr)
+        self._previous_rr = rr
+        event = ControllerEvent(
+            window_index=self._window_index,
+            read_ratio=rr,
+            reconfigured=False,
+            configuration=self._config,
+            mean_throughput=0.0,
+            shed=True,
+        )
+        self.result.events.append(event)
+        self._window_index += 1
+        if self.guard is not None:
+            self.guard.observe_window(event)
+        return event
 
     def advance_phase(self) -> str:
         """Execute the current phase; returns the next phase's name."""
@@ -238,7 +302,14 @@ class TenantSession:
         ws.decision_rr = decision_rr
         if decision_rr is None:
             return
+        if self.guard is not None and not self.guard.allow_search(ws.index):
+            # Circuit open or search bulkhead spent: hold the current
+            # configuration instead of retry-storming the surrogate.
+            ws.decision_rr = None
+            return
         target, lost, degraded = self._decide_target(ws.index, decision_rr)
+        if self.guard is not None:
+            self.guard.record_search(ws.index, ok=not degraded)
         ws.retry_lost += lost
         ws.degraded = degraded
         ws.target = target
@@ -248,7 +319,15 @@ class TenantSession:
         target = ws.target
         if target is None or target == self._config:
             return
+        if self.guard is not None and not self.guard.allow_push(ws.index):
+            # Actuation circuit open (failures or exhausted error budget)
+            # or restart bulkhead spent: keep serving on the current
+            # configuration.  Unlike a failed push this is not a degraded
+            # window — the guard chose not to try.
+            return
         pushed, lost = self._push(ws, target)
+        if self.guard is not None:
+            self.guard.record_push(ws.index, ok=pushed)
         ws.retry_lost += lost
         if pushed:
             canary_on = self.canary_margin is not None and self.rafiki is not None
@@ -298,6 +377,12 @@ class TenantSession:
                 ws.steps += self.adapter.run(ws.read_ratio, remaining, dt=1.0)
         window_ops = sum(s.throughput * s.dt for s in ws.steps)
         ws.mean_throughput = window_ops / duration
+        if ws.capacity_factor != 1.0:
+            # Shared-cluster overload the scheduler could not shed away:
+            # this tenant's share of the round scales down with everyone
+            # else's (kept off the ``== 1.0`` fast path so unguarded runs
+            # stay bit-identical).
+            ws.mean_throughput *= ws.capacity_factor
 
     def _phase_canary(self, ws: WindowState) -> None:
         """Judge a canaried push against the surrogate's promise."""
@@ -320,6 +405,8 @@ class TenantSession:
         )
         self.result.events.append(ws.event)
         self._window_index += 1
+        if self.guard is not None:
+            self.guard.observe_window(ws.event)
 
     # -- resilient operations (ported verbatim from OnlineController) ----------
 

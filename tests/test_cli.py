@@ -171,6 +171,85 @@ class TestServe:
         assert rc == 1
         assert "unknown key" in capsys.readouterr().err
 
+    GUARDED_MANIFEST = {
+        "guard": {"cluster_capacity": 50000.0, "shedding": True},
+        "defaults": {"hours": 0.25, "window_seconds": 60},
+        "tenants": [
+            {
+                "id": "assembly",
+                "seed": 1,
+                "slo": {
+                    "throughput_floor": 1000.0,
+                    "window_span": 4,
+                    "error_budget": 0.25,
+                },
+            },
+            {
+                "id": "burst",
+                "seed": 2,
+                "priority": 5,
+                "guard": {"breaker_failures": 3, "breaker_cooldown": 4},
+            },
+        ],
+    }
+
+    def test_serve_guarded_manifest_reports_guard_columns(
+        self, artifacts, tmp_path, capsys
+    ):
+        _, surrogate = artifacts
+        manifest = tmp_path / "guarded.json"
+        manifest.write_text(json.dumps(self.GUARDED_MANIFEST))
+        rc = main(
+            [
+                "serve",
+                "--surrogate", str(surrogate),
+                "--manifest", str(manifest),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shed" in out
+        assert "SLO" in out
+        assert "breaker opens" in out
+        assert "cluster:" in out  # the ledger summary line
+
+    def test_serve_unguarded_manifest_prints_no_guard_columns(
+        self, artifacts, tmp_path, capsys
+    ):
+        _, surrogate = artifacts
+        manifest = tmp_path / "plain.json"
+        manifest.write_text(json.dumps(self.MANIFEST))
+        rc = main(
+            [
+                "serve",
+                "--surrogate", str(surrogate),
+                "--manifest", str(manifest),
+                "--quiet",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "shed" not in out
+        assert "SLO" not in out
+        assert "cluster:" not in out
+
+    def test_serve_rejects_bad_cluster_capacity(self, artifacts, tmp_path, capsys):
+        _, surrogate = artifacts
+        manifest = tmp_path / "tenants.json"
+        manifest.write_text(json.dumps(self.MANIFEST))
+        rc = main(
+            [
+                "serve",
+                "--surrogate", str(surrogate),
+                "--manifest", str(manifest),
+                "--cluster-capacity", "-5",
+                "--quiet",
+            ]
+        )
+        assert rc == 1
+        assert "bad fleet" in capsys.readouterr().err
+
 
 class TestCharacterize:
     def test_outputs_characterization(self, capsys):

@@ -6,7 +6,13 @@ import sys
 import pytest
 
 from repro.errors import PersistenceError
-from repro.middleware import load_manifest, parse_manifest, specs_from_manifest
+from repro.middleware import (
+    GuardSpec,
+    SloSpec,
+    load_manifest,
+    parse_manifest,
+    specs_from_manifest,
+)
 
 HAS_TOMLLIB = sys.version_info >= (3, 11)
 
@@ -117,6 +123,113 @@ class TestValidation:
     def test_id_not_settable_from_defaults(self):
         with pytest.raises(PersistenceError, match="unknown default key"):
             parse_manifest({"defaults": {"id": "a"}, "tenants": [{"id": "b"}]})
+
+
+class TestGuardStanzas:
+    def test_guard_section_parsed(self):
+        manifest = parse_manifest(
+            {
+                "guard": {"cluster_capacity": 250_000, "shedding": False},
+                "tenants": [{"id": "a"}],
+            }
+        )
+        assert manifest.cluster_capacity == 250_000.0
+        assert manifest.shedding is False
+
+    def test_guard_section_defaults(self):
+        manifest = parse_manifest({"tenants": [{"id": "a"}]})
+        assert manifest.cluster_capacity is None
+        assert manifest.shedding is True
+
+    def test_unknown_guard_section_key_rejected(self):
+        with pytest.raises(PersistenceError, match=r"unknown \[guard\] key"):
+            parse_manifest(
+                {"guard": {"capasity": 1}, "tenants": [{"id": "a"}]}
+            )
+
+    def test_guard_section_value_types_checked(self):
+        with pytest.raises(PersistenceError, match="cluster_capacity"):
+            parse_manifest(
+                {"guard": {"cluster_capacity": "lots"}, "tenants": [{"id": "a"}]}
+            )
+        with pytest.raises(PersistenceError, match="shedding"):
+            parse_manifest(
+                {"guard": {"shedding": "yes"}, "tenants": [{"id": "a"}]}
+            )
+
+    def test_unknown_nested_slo_key_rejected(self):
+        with pytest.raises(PersistenceError, match=r"\[slo\].*thruput"):
+            parse_manifest(
+                {"tenants": [{"id": "a", "slo": {"thruput_floor": 10}}]}
+            )
+
+    def test_unknown_nested_guard_key_rejected(self):
+        with pytest.raises(PersistenceError, match=r"\[guard\].*fuses"):
+            parse_manifest(
+                {"tenants": [{"id": "a", "guard": {"fuses": 3}}]}
+            )
+
+    def test_unknown_nested_key_in_defaults_rejected(self):
+        with pytest.raises(PersistenceError, match=r"\[defaults.slo\]"):
+            parse_manifest(
+                {
+                    "defaults": {"slo": {"floor": 10}},
+                    "tenants": [{"id": "a"}],
+                }
+            )
+
+    def test_nested_stanza_must_be_a_table(self):
+        with pytest.raises(PersistenceError, match="must be a table"):
+            parse_manifest({"tenants": [{"id": "a", "slo": 40000}]})
+
+    def test_nested_stanzas_merge_key_wise_over_defaults(self):
+        manifest = parse_manifest(
+            {
+                "defaults": {
+                    "slo": {"throughput_floor": 40_000, "window_span": 8}
+                },
+                "tenants": [
+                    {"id": "a"},
+                    {"id": "b", "slo": {"window_span": 4}},
+                ],
+            }
+        )
+        a, b = manifest.tenants
+        assert a["slo"] == {"throughput_floor": 40_000, "window_span": 8}
+        # b refines one key; the defaults' floor survives.
+        assert b["slo"] == {"throughput_floor": 40_000, "window_span": 4}
+
+    def test_specs_carry_guard_settings(self):
+        manifest = parse_manifest(
+            {
+                "defaults": {"hours": 1},
+                "tenants": [
+                    {
+                        "id": "guarded",
+                        "priority": 3,
+                        "slo": {"throughput_floor": 40_000},
+                        "guard": {"max_restarts": 2},
+                    },
+                    {"id": "plain"},
+                ],
+            }
+        )
+        guarded, plain = specs_from_manifest(manifest)
+        assert guarded.priority == 3
+        assert guarded.slo == SloSpec(throughput_floor=40_000)
+        assert guarded.guard == GuardSpec(max_restarts=2)
+        assert plain.priority == 0
+        assert plain.slo is None and plain.guard is None
+
+    def test_bad_nested_value_names_the_tenant(self):
+        manifest = parse_manifest(
+            {
+                "defaults": {"hours": 1},
+                "tenants": [{"id": "bad", "slo": {"error_budget": 2.0}}],
+            }
+        )
+        with pytest.raises(PersistenceError, match="bad"):
+            specs_from_manifest(manifest)
 
 
 class TestSpecBuilding:

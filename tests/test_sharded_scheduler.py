@@ -13,13 +13,13 @@ import pytest
 
 from repro.bench.dataset import PerformanceDataset, PerformanceSample
 from repro.config import CASSANDRA_KEY_PARAMETERS, cassandra_space
-from repro.core.policies import OraclePolicy
+from repro.core.policies import OraclePolicy, ReactivePolicy
 from repro.core.rafiki import Rafiki
 from repro.core.search import OptimizationResult
 from repro.core.surrogate import SurrogateModel
 from repro.datastore import CassandraLike
 from repro.datastore.adapter import SimulatedDatastoreAdapter
-from repro.errors import DatastoreError, SearchError
+from repro.errors import DatastoreError, MiddlewareError, SearchError
 from repro.middleware import MiddlewareScheduler, TenantSpec
 from repro.ml.ensemble import EnsembleConfig
 from repro.runtime import EventBus
@@ -213,6 +213,83 @@ class TestRealRafikiProtocol:
         serial = campaign(None)
         sharded = campaign(ProcessPoolBackend(workers=2))
         assert sharded == serial
+
+
+class TestCacheEvictionCaveat:
+    """A too-small shared cache must never silently break bit-identity."""
+
+    def tiny_cache_rafiki(self, cassandra, tiny_surrogate):
+        rafiki = Rafiki(
+            cassandra,
+            tiny_surrogate,
+            PARAMS,
+            seed=0,
+            rr_cache_resolution=0.01,
+            cache_capacity=1,
+        )
+        rafiki.optimizer.population_size = 8
+        rafiki.optimizer.generations = 2
+        return rafiki
+
+    def test_risky_round_falls_back_to_serial(self, cassandra, tiny_surrogate):
+        # Two oracle tenants racing distinct regimes into a 1-entry
+        # cache: every round would evict mid-round, so every round must
+        # run serially — announced, and bit-identical to a serial run.
+        specs = lambda: [  # noqa: E731
+            spec("a", [0.20, 0.60], seed=1, policy=OraclePolicy()),
+            spec("b", [0.80, 0.40], seed=2, policy=OraclePolicy()),
+        ]
+        ref = run_campaign(
+            cassandra, specs(), rafiki=self.tiny_cache_rafiki(cassandra, tiny_surrogate)
+        )
+        sharded = run_campaign(
+            cassandra,
+            specs(),
+            backend=ProcessPoolBackend(workers=2),
+            rafiki=self.tiny_cache_rafiki(cassandra, tiny_surrogate),
+        )
+        assert sharded[0] == ref[0]
+        topics = [t for t, _, _ in sharded[1]]
+        assert topics.count("scheduler.serial_fallback") == 2
+        # Apart from the fallback announcements, the same event log.
+        assert [
+            r for r in sharded[1] if r[0] != "scheduler.serial_fallback"
+        ] == ref[1]
+
+    def test_unforeseen_eviction_is_an_error_not_a_divergence(
+        self, cassandra, tiny_surrogate
+    ):
+        # A reactive policy searches the *previous* window's regime —
+        # invisible to the pre-round estimate (which looks at current
+        # regimes).  Window 2: the estimate sees 0.9 (cached, fits) but
+        # the policy searches 0.5, evicting 0.9 mid-merge.  That must
+        # raise, not silently return possibly-divergent results.
+        run = lambda backend: run_campaign(  # noqa: E731
+            cassandra,
+            [spec("r", [0.9, 0.5, 0.9], seed=1, policy=ReactivePolicy())],
+            backend=backend,
+            rafiki=self.tiny_cache_rafiki(cassandra, tiny_surrogate),
+        )
+        run(None)  # serial handles the eviction fine
+        with pytest.raises(MiddlewareError, match="evicted"):
+            run(SerialBackend())
+
+    def test_ample_cache_never_falls_back(self, cassandra, tiny_surrogate):
+        rafiki = Rafiki(
+            cassandra, tiny_surrogate, PARAMS, seed=0, rr_cache_resolution=0.01
+        )
+        rafiki.optimizer.population_size = 8
+        rafiki.optimizer.generations = 2
+        _, log, _ = run_campaign(
+            cassandra,
+            [
+                spec("a", [0.20, 0.60], seed=1, policy=OraclePolicy()),
+                spec("b", [0.80, 0.40], seed=2, policy=OraclePolicy()),
+            ],
+            backend=SerialBackend(),
+            rafiki=rafiki,
+        )
+        assert all(t != "scheduler.serial_fallback" for t, _, _ in log)
 
 
 class TestEngineExecutionTenants:
