@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Verified actuation in the multi-tenant serve layer, end to end.
+
+A config push is not a transaction: on a real fleet it can silently
+miss a node (partial push), and a crashed node can rejoin serving its
+pre-crash knobs (stale recovery).  This tour runs the drift loop:
+
+1. inject a partial push into a *blind* tenant (no reconciler) and
+   show that nothing surfaces — the ring serves mixed configs and the
+   only symptom is a throughput anomaly nobody can attribute,
+2. turn the reconciler on: the same faults are detected within one
+   window (``actuate.drift``), repaired by re-pushing only the drifted
+   nodes (``actuate.reconciled``, charging the usual rolling-restart
+   transient), and the affected windows are quarantined so the canary
+   EWMA and SLO budget never ingest mixed-config throughput,
+3. exhaust the repair budget: unrepairable drift escalates — the
+   window degrades (``controller.degraded`` with ``reason="drift"``)
+   and the push breaker trips open, so the tenant stops layering new
+   pushes on an unverified ring,
+4. re-run fault-free and verify the reconciler is invisible: the run
+   is bit-identical to one without it.
+
+Uses a deterministic table-fill recommender so the tour runs in
+seconds; swap in a trained surrogate (see middleware_tour.py) for the
+full pipeline.
+
+    python examples/drift_tour.py
+"""
+
+from repro import (
+    ActuationFault,
+    CassandraLike,
+    EventBus,
+    FaultPlan,
+    GuardSpec,
+    MiddlewareScheduler,
+    ReconcileSpec,
+    StaleRecovery,
+    TenantSpec,
+    WorkloadSpec,
+)
+from repro.core.search import OptimizationResult
+
+WORKLOAD = WorkloadSpec(read_ratio=0.5, n_keys=100_000)
+#: Regime changes at windows 4 and 8 force a config push at each.
+RR_SERIES = [0.3] * 4 + [0.7] * 4 + [0.3] * 4
+
+#: Window 4's push silently fails on node 1; node 2 crashes at window 6
+#: and rejoins at window 9 having missed the window-8 push.
+FAULT_PLAN = FaultPlan(
+    actuation_faults=(ActuationFault(window=4, node=1),),
+    stale_recoveries=(StaleRecovery(window=6, node=2, recover_window=9),),
+)
+
+
+class RegimeRafiki:
+    """Deterministic stand-in recommender (one config per regime)."""
+
+    def __init__(self, datastore):
+        self.datastore = datastore
+        self._cache = {}
+
+    def recommend(self, read_ratio, use_cache=True):
+        key = round(read_ratio, 2)
+        if key not in self._cache:
+            writes = 64 if read_ratio < 0.5 else 96
+            self._cache[key] = OptimizationResult(
+                configuration=self.datastore.default_configuration().with_updates(
+                    concurrent_writes=writes
+                ),
+                predicted_throughput=0.0,
+                evaluations=1,
+                equivalent_wall_seconds=0.0,
+                strategy="table",
+            )
+        return self._cache[key]
+
+
+def run(fault_plan, reconcile, guard=None):
+    events = EventBus()
+    trace = []
+    events.subscribe(
+        lambda e: trace.append((e.topic, e.message, tuple(sorted(e.payload.items()))))
+    )
+    cassandra = CassandraLike()
+    scheduler = MiddlewareScheduler(cassandra, RegimeRafiki(cassandra), events=events)
+    scheduler.add_tenant(
+        TenantSpec(
+            tenant_id="archive",
+            rr_series=RR_SERIES,
+            base_workload=WORKLOAD,
+            seed=3,
+            n_nodes=3,
+            window_seconds=120,
+            restart_policy="rolling",
+            restart_seconds_per_node=10,
+            load=False,
+            fault_plan=fault_plan,
+            reconcile=reconcile,
+            guard=guard,
+        )
+    )
+    results = scheduler.run()
+    return scheduler, results["archive"], trace
+
+
+def show(trace, *topics):
+    for topic, message, _ in trace:
+        if any(topic.endswith(t) for t in topics):
+            print(f"    [{topic.split('.', 2)[-1]}] {message}")
+
+
+def main():
+    print("=== 1. Blind actuation: the faults are invisible ===")
+    _, blind, trace = run(FAULT_PLAN, reconcile=None)
+    drift_events = [t for t, _, _ in trace if "actuate.drift" in t]
+    print(f"  drift events published: {len(drift_events)}")
+    print(f"  mean throughput:        {blind.mean_throughput:,.0f} ops/s")
+    print("  node 1 served the old knobs from window 4 on; node 2 rejoined")
+    print("  stale at window 9 — and nothing in the event log says so.\n")
+
+    print("=== 2. Reconciler on: detect, repair, quarantine ===")
+    _, run_on, trace = run(FAULT_PLAN, ReconcileSpec(max_repairs=2, span=8))
+    show(trace, "actuate.drift", "actuate.reconciled", "cluster.node_recovered")
+    quarantined = [e.window_index for e in run_on.events if e.quarantined]
+    print(f"  quarantined windows:    {quarantined} (canary + SLO skip them)")
+    print(f"  degraded windows:       "
+          f"{[e.window_index for e in run_on.events if e.degraded]}\n")
+
+    print("=== 3. Budget exhausted: drift escalates ===")
+    stubborn = FaultPlan(
+        actuation_faults=(ActuationFault(window=4, node=1, repairs_blocked=8),)
+    )
+    scheduler, run_esc, trace = run(
+        stubborn, ReconcileSpec(max_repairs=1, span=16), guard=GuardSpec()
+    )
+    show(trace, "actuate.repair_failed", "actuate.repair_blocked",
+         "controller.degraded", "guard.breaker.open")
+    breaker = scheduler.session("archive").guard.push_breaker
+    print(f"  push breaker opened:    {breaker.opened_count}x "
+          "(re-closed after a half-open probe once the drift resolved)")
+    print(f"  degraded windows:       "
+          f"{[e.window_index for e in run_esc.events if e.degraded]}\n")
+
+    print("=== 4. Fault-free: verification is invisible ===")
+    _, _, trace_off = run(None, reconcile=None)
+    _, _, trace_on = run(None, ReconcileSpec(max_repairs=2, span=8))
+    print(f"  reconciler on == off (full event trace): {trace_on == trace_off}")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,10 +72,26 @@ SUBLAYERS = {
         "breaker": 0,
         "ledger": 0,
         "guard": 1,
+        # The drift reconciler is a peer of the guard: leaf machinery the
+        # session consults (duck-typed) but never the other way around.
+        "reconcile": 1,
         "session": 2,
         "scheduler": 3,
         "manifest": 4,
         "__init__": 5,  # the package facade re-exports every tier
+    },
+    # The datastore's actuation stack is ordered too: base servers are
+    # leaves, the analytic cluster composes them (and owns the per-node
+    # applied-config state), the materialized ring and the adapter sit
+    # on top of the cluster.
+    "datastore": {
+        "base": 0,
+        "cassandra": 1,
+        "scylla": 1,
+        "cluster": 1,
+        "ring": 2,
+        "adapter": 2,
+        "__init__": 3,
     },
 }
 

@@ -42,7 +42,13 @@ from repro.errors import (
     TrainingError,
     TransientError,
 )
-from repro.faults import CrashPoint, FaultInjector, FaultPlan
+from repro.faults import (
+    ActuationFault,
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    StaleRecovery,
+)
 from repro.bench import (
     BenchmarkResult,
     DataCollectionCampaign,
@@ -71,8 +77,10 @@ from repro.core import (
     select_key_parameters,
 )
 from repro.middleware import (
+    DriftReconciler,
     GuardSpec,
     MiddlewareScheduler,
+    ReconcileSpec,
     SimulatedDatastoreAdapter,
     SloSpec,
     TenantGuard,
@@ -141,10 +149,14 @@ __all__ = [
     "SloSpec",
     "GuardSpec",
     "TenantGuard",
+    "ReconcileSpec",
+    "DriftReconciler",
     # fault injection
     "FaultPlan",
     "FaultInjector",
     "CrashPoint",
+    "ActuationFault",
+    "StaleRecovery",
     # decision policies
     "DecisionPolicy",
     "OraclePolicy",

@@ -348,6 +348,8 @@ def cmd_serve(args) -> int:
     events = EventBus()
     restart_loss = {spec.tenant_id: 0.0 for spec in specs}
     restarted_nodes = {spec.tenant_id: 0 for spec in specs}
+    drift_windows = {spec.tenant_id: 0 for spec in specs}
+    drift_repairs = {spec.tenant_id: 0 for spec in specs}
 
     def on_restart(event):
         # tenant.<id>.actuate.rolling_restart — charge the transient
@@ -357,9 +359,25 @@ def cmd_serve(args) -> int:
         restart_loss[tenant_id] += event.payload["ops_lost"]
         restarted_nodes[tenant_id] += event.payload["nodes_restarted"]
 
+    def on_drift(event):
+        # tenant.<id>.actuate.drift / actuate.reconciled — the verified
+        # actuation story per tenant.
+        parts = event.topic.split(".")
+        tenant_id, kind = parts[1], parts[-1]
+        if kind == "drift":
+            drift_windows[tenant_id] += 1
+        else:
+            drift_repairs[tenant_id] += 1
+
     for spec in specs:
         events.subscribe(
             on_restart, topic=f"tenant.{spec.tenant_id}.actuate.rolling_restart"
+        )
+        events.subscribe(
+            on_drift, topic=f"tenant.{spec.tenant_id}.actuate.drift"
+        )
+        events.subscribe(
+            on_drift, topic=f"tenant.{spec.tenant_id}.actuate.reconciled"
         )
     if not args.quiet:
         events.subscribe(
@@ -419,6 +437,17 @@ def cmd_serve(args) -> int:
             if entry["breakers"] is not None:
                 opens = sum(b["opens"] for b in entry["breakers"].values())
                 line += f"  {opens} breaker opens"
+        if any(drift_windows.values()):
+            # Drift columns only appear when actuation actually drifted,
+            # so fault-free serves print byte-identical output to before.
+            quarantined = sum(
+                1 for e in run.events if getattr(e, "quarantined", False)
+            )
+            line += (
+                f"  {drift_windows[spec.tenant_id]} drift "
+                f"({drift_repairs[spec.tenant_id]} repaired, "
+                f"{quarantined} quarantined)"
+            )
         print(line)
     if guarded and scheduler.ledger is not None:
         ledger = scheduler.ledger

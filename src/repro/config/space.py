@@ -8,6 +8,7 @@ paper's shorthand ``C = {v1=5, v3=9}`` (§3.2).
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import math
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
@@ -84,6 +85,19 @@ class Configuration(Mapping[str, Any]):
         return np.array(
             [self._space[n].to_unit(self._values[n]) for n in names], dtype=float
         )
+
+    def fingerprint(self) -> str:
+        """Stable 8-hex-digit digest of the full parameter assignment.
+
+        Two configurations fingerprint equal iff they are ``==``; the
+        digest is stable across processes and platforms (no ``hash()``
+        randomization), which is what lets the actuation layer compare
+        intended-vs-applied configs per node and report drift compactly.
+        """
+        digest = hashlib.sha1(
+            repr(sorted(self._values.items())).encode("utf-8")
+        ).hexdigest()
+        return digest[:8]
 
     def __repr__(self) -> str:
         nd = self.non_default_items()

@@ -104,6 +104,9 @@ class ControllerEvent:
     degraded: bool = False
     #: Admission control deferred this whole window (nothing was served).
     shed: bool = False
+    #: The window ran under detected config drift (mixed-config ring);
+    #: canary EWMA / SLO scoring / surrogate observation must skip it.
+    quarantined: bool = False
 
 
 @dataclass

@@ -15,6 +15,16 @@ of the serving set for ``restart_seconds_per_node`` simulated seconds
 while the rest of the ring carries the load, so the report's ``ops_lost``
 is exactly the capacity the restart transient cost — the quantity
 Rafiki's hysteresis exists to amortize.
+
+**Verified actuation.**  Pushes are fallible per node: a
+:class:`~repro.datastore.cluster.Cluster` node armed with an
+ActuationFault refusal (or config-isolated for a StaleRecovery) keeps
+its old knobs, and the push reports carry the per-node applied/failed
+split.  :meth:`DatastoreAdapter.verify_config` is the read-back — it
+returns the intended-vs-applied :class:`DriftReport` the middleware's
+reconcile loop consumes — and :meth:`DatastoreAdapter.repair_config`
+re-pushes the intended config to just the drifted nodes, charging the
+usual per-node rolling-restart transient.
 """
 
 from __future__ import annotations
@@ -26,8 +36,8 @@ import numpy as np
 
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
-from repro.datastore.cluster import Cluster
-from repro.errors import DatastoreError
+from repro.datastore.cluster import Cluster, DriftReport
+from repro.errors import ActuationError, DatastoreError
 from repro.lsm.analytic import StepResult, WorkloadProfile
 from repro.lsm.engine import OP_READ
 from repro.sim.rng import SeedLike, derive_rng
@@ -54,6 +64,10 @@ class RollingRestartReport:
     ops_served: float                # logical ops completed during the phase
     ops_lost: float                  # capacity shortfall vs. the healthy ring
     steps: List = field(default_factory=list)  # per-step results (window-countable)
+    #: Per-node applied results: which nodes actually took the new config
+    #: and which silently kept their old one (partial-push faults).
+    applied_nodes: Tuple[int, ...] = ()
+    failed_nodes: Tuple[int, ...] = ()
 
 
 class DatastoreAdapter:
@@ -77,6 +91,15 @@ class DatastoreAdapter:
     def rolling_restart(self, config: Configuration, read_ratio: float,
                         dt: float = 1.0) -> RollingRestartReport:
         """Apply ``config`` node by node, charging restart downtime."""
+        raise NotImplementedError
+
+    def verify_config(self) -> DriftReport:
+        """Read back what each node is actually running (drift check)."""
+        raise NotImplementedError
+
+    def repair_config(self, nodes, read_ratio: float, rolling: bool = True,
+                      dt: float = 1.0) -> RollingRestartReport:
+        """Re-push the intended config to just ``nodes`` (drift repair)."""
         raise NotImplementedError
 
     def run(self, read_ratio: float, duration: float, dt: float = 1.0):
@@ -249,6 +272,8 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
         self.workload = workload
         self.server = None
         self.cluster: Optional[Cluster] = None
+        # Single-server applied-config tracking (clusters track per node).
+        self._applied_config: Configuration = self.config
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -273,6 +298,7 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
                 n_shooters=self.n_nodes,
                 profile=self.profile,
                 seed=self.seed,
+                events=self.events,
             )
             self.server = self.cluster
         if load_keys is not None:
@@ -295,12 +321,23 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
 
     # -- config application ----------------------------------------------------
 
-    def apply_config(self, config: Configuration) -> None:
+    def apply_config(self, config: Configuration) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Push ``config`` to every node instantly; per-node results.
+
+        Returns ``(applied, failed)`` node-index tuples.  On a cluster
+        the push lands node by node, so an armed ActuationFault leaves
+        its node on the old config — silently, exactly like the rolling
+        path; only :meth:`verify_config` read-back tells.
+        """
         self._require_server()
-        self.server.reconfigure(self.datastore.effective_knobs(config))
         if self.cluster is not None:
-            self.cluster.config = config
+            applied, failed = self.cluster.apply_config(config)
+        else:
+            self.server.reconfigure(self.datastore.effective_knobs(config))
+            self._applied_config = config
+            applied, failed = (0,), ()
         self.config = config
+        return applied, failed
 
     def rolling_restart(self, config: Configuration, read_ratio: float,
                         dt: float = 1.0) -> RollingRestartReport:
@@ -317,9 +354,14 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
         knobs = self.datastore.effective_knobs(config)
         if self.cluster is None:
             report = self._single_node_restart(knobs, read_ratio)
+            report.applied_nodes = (0,)
+            self._applied_config = config
         else:
-            report = self._cluster_rolling_restart(knobs, read_ratio, dt)
-            self.cluster.config = config
+            # Declare the intent first: nodes the cycle has not reached
+            # yet are *transiently* drifted, nodes a fault kept on the
+            # old config remain drifted after — the read-back sees both.
+            self.cluster.set_intended(config)
+            report = self._cluster_rolling_restart(config, knobs, read_ratio, dt)
         self.config = config
         self._publish(
             "actuate.rolling_restart",
@@ -330,6 +372,118 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
             skipped_nodes=report.skipped_nodes,
             duration_s=report.duration_s,
             ops_served=report.ops_served,
+            ops_lost=report.ops_lost,
+            applied_nodes=report.applied_nodes,
+            failed_nodes=report.failed_nodes,
+        )
+        return report
+
+    # -- verification & repair --------------------------------------------------
+
+    def verify_config(self) -> DriftReport:
+        """Read back the per-node applied configs vs. the intended one.
+
+        This is the actuation layer's trust-but-verify step (BestConfig
+        restarts-and-verifies every configuration; Tuneful treats failed
+        application as a first-class outcome): the report says exactly
+        which live nodes serve a configuration other than the intended
+        one.  Costless in simulation; on a real fleet this is a config
+        read-back RPC per node.
+        """
+        self._require_server()
+        if self.cluster is not None:
+            return self.cluster.describe_drift()
+        intended = self.config.fingerprint()
+        applied = self._applied_config.fingerprint()
+        return DriftReport(
+            intended_fingerprint=intended,
+            node_fingerprints=(applied,),
+            drifted_nodes=(0,) if applied != intended else (),
+        )
+
+    def repair_config(self, nodes, read_ratio: float, rolling: bool = True,
+                      dt: float = 1.0) -> RollingRestartReport:
+        """Re-push the intended config to just the drifted ``nodes``.
+
+        ``rolling=True`` cycles each node through a restart window (the
+        surviving ring carries the load, so the repair charges the usual
+        per-node transient); ``rolling=False`` is the instant-push
+        repair.  Nodes that refuse again stay in ``failed_nodes`` — the
+        caller decides whether to spend more budget or escalate.
+        """
+        self._require_server()
+        nodes = tuple(nodes)
+        if not nodes:
+            raise ActuationError("repair_config needs at least one node")
+        if self.cluster is None:
+            raise ActuationError(
+                "repair_config targets ring nodes; a single server cannot "
+                "drift (re-push with apply_config instead)"
+            )
+        cluster = self.cluster
+        for i in nodes:
+            if not (0 <= i < cluster.n_nodes):
+                raise ActuationError(
+                    f"repair targets node {i} outside the ring "
+                    f"[0, {cluster.n_nodes})"
+                )
+        config = self.config
+        knobs = self.datastore.effective_knobs(config)
+        healthy_cap = cluster.sustainable_throughput(read_ratio)
+        steps: List = []
+        restarted = 0
+        skipped: List[int] = []
+        applied: List[int] = []
+        failed: List[int] = []
+        down = set(cluster.down_node_indices)
+        for i in nodes:
+            if i in down:
+                skipped.append(i)
+                ok = cluster.apply_node_config(i, config, knobs=knobs)
+                (applied if ok else failed).append(i)
+                continue
+            if rolling:
+                try:
+                    cluster.fail_node(i)
+                except DatastoreError:
+                    skipped.append(i)
+                    ok = cluster.apply_node_config(i, config, knobs=knobs)
+                    (applied if ok else failed).append(i)
+                    continue
+                if self.restart_seconds_per_node > 0:
+                    steps.extend(
+                        cluster.run(
+                            read_ratio, self.restart_seconds_per_node, dt=dt
+                        )
+                    )
+                ok = cluster.apply_node_config(i, config, knobs=knobs)
+                (applied if ok else failed).append(i)
+                cluster.recover_node(i)
+                restarted += 1
+            else:
+                ok = cluster.apply_node_config(i, config, knobs=knobs)
+                (applied if ok else failed).append(i)
+        duration = sum(s.dt for s in steps)
+        ops_served = sum(s.throughput * s.dt for s in steps)
+        report = RollingRestartReport(
+            nodes_restarted=restarted,
+            skipped_nodes=tuple(skipped),
+            duration_s=duration,
+            ops_served=ops_served,
+            ops_lost=max(0.0, healthy_cap * duration - ops_served),
+            steps=steps,
+            applied_nodes=tuple(applied),
+            failed_nodes=tuple(failed),
+        )
+        self._publish(
+            "actuate.repair",
+            f"drift repair: re-pushed {len(report.applied_nodes)}/"
+            f"{len(nodes)} node(s) in {report.duration_s:.0f}s "
+            f"({report.ops_lost:,.0f} ops of capacity lost)",
+            nodes=nodes,
+            applied_nodes=report.applied_nodes,
+            failed_nodes=report.failed_nodes,
+            duration_s=report.duration_s,
             ops_lost=report.ops_lost,
         )
         return report
@@ -355,35 +509,45 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
             steps=[],
         )
 
-    def _cluster_rolling_restart(self, knobs, read_ratio: float,
+    def _cluster_rolling_restart(self, config: Configuration, knobs,
+                                 read_ratio: float,
                                  dt: float) -> RollingRestartReport:
         cluster = self.cluster
         healthy_cap = cluster.sustainable_throughput(read_ratio)
         steps: List = []
         restarted = 0
         skipped: List[int] = []
+        applied: List[int] = []
+        failed: List[int] = []
         down_before = set(cluster.down_node_indices)
         for i in range(cluster.n_nodes):
             if i in down_before:
-                # Crashed by a fault: push the knobs (it rejoins with the
-                # current configuration) but do not cycle it — restarting
+                # Crashed by a fault: push the config (it rejoins with the
+                # current configuration — unless config-isolated by a
+                # StaleRecovery fault) but do not cycle it — restarting
                 # would wrongly resurrect it.
                 skipped.append(i)
-                cluster.nodes[i].reconfigure(knobs)
+                ok = cluster.apply_node_config(i, config, knobs=knobs)
+                (applied if ok else failed).append(i)
                 continue
             try:
                 cluster.fail_node(i)
             except DatastoreError:
-                # Last live node: push the knobs without a restart window
+                # Last live node: push the config without a restart window
                 # rather than dropping the ring to zero capacity.
                 skipped.append(i)
-                cluster.nodes[i].reconfigure(knobs)
+                ok = cluster.apply_node_config(i, config, knobs=knobs)
+                (applied if ok else failed).append(i)
                 continue
             if self.restart_seconds_per_node > 0:
                 steps.extend(
                     cluster.run(read_ratio, self.restart_seconds_per_node, dt=dt)
                 )
-            cluster.nodes[i].reconfigure(knobs)
+            # The restart cycle is spent either way; a push the node
+            # refused (ActuationFault) brings it back on its *old*
+            # config — a silent partial push the read-back must catch.
+            ok = cluster.apply_node_config(i, config, knobs=knobs)
+            (applied if ok else failed).append(i)
             cluster.recover_node(i)
             restarted += 1
         duration = sum(s.dt for s in steps)
@@ -395,6 +559,8 @@ class SimulatedDatastoreAdapter(DatastoreAdapter):
             ops_served=ops_served,
             ops_lost=max(0.0, healthy_cap * duration - ops_served),
             steps=steps,
+            applied_nodes=tuple(applied),
+            failed_nodes=tuple(failed),
         )
 
     def _require_server(self) -> None:

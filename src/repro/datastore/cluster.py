@@ -12,16 +12,27 @@ disk (:meth:`Cluster.set_disk_slowdown`); throughput and capacity math
 then run over the surviving nodes, mirroring the data-path failures in
 :mod:`repro.datastore.ring`.  With every node live and no slowdowns the
 math is bit-identical to the fault-free model.
+
+**Verified actuation.**  Each node tracks the :class:`Configuration` it
+is *actually running* (its applied config), separately from the ring's
+*intended* config (:attr:`Cluster.config`).  Config pushes land per node
+through :meth:`apply_node_config`, which can fail — a node armed with
+push refusals (:meth:`refuse_pushes`, the ActuationFault mechanism) or
+config-isolated while down (:meth:`isolate_node`, the StaleRecovery
+mechanism) silently keeps its old knobs.  A mixed-config ring is thus a
+modeled, measurable state: capacity math consumes each node's own knobs,
+and :meth:`describe_drift` reports the intended-vs-applied fingerprint
+delta so the middleware's reconcile loop can detect and repair it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.config.space import Configuration
 from repro.datastore.base import Datastore
-from repro.errors import DatastoreError
+from repro.errors import ActuationError, DatastoreError
 from repro.lsm.analytic import AnalyticLSMModel, WorkloadProfile
 from repro.lsm.knobs import EngineKnobs
 from repro.sim.rng import SeedLike, SeedSequence, derive_rng
@@ -43,6 +54,26 @@ class ClusterStepResult:
     dt: float = 1.0
 
 
+@dataclass(frozen=True)
+class DriftReport:
+    """Intended-vs-applied configuration state, per node.
+
+    ``drifted_nodes`` are *live* nodes serving a config other than the
+    intended one — the hazard the reconcile loop repairs.  Down nodes
+    with stale configs are listed separately (they serve nothing; their
+    drift is caught when they rejoin).
+    """
+
+    intended_fingerprint: str
+    node_fingerprints: Tuple[str, ...]
+    drifted_nodes: Tuple[int, ...]
+    down_drifted_nodes: Tuple[int, ...] = ()
+
+    @property
+    def has_drift(self) -> bool:
+        return bool(self.drifted_nodes)
+
+
 class Cluster:
     """A ring of identically configured simulated datastore nodes."""
 
@@ -56,6 +87,7 @@ class Cluster:
         consistency_level: str = "ONE",
         profile: Optional[WorkloadProfile] = None,
         seed: SeedLike = 0,
+        events=None,
     ):
         if n_nodes <= 0:
             raise DatastoreError("cluster needs at least one node")
@@ -84,8 +116,18 @@ class Cluster:
             for i in range(n_nodes)
         ]
         self.t = 0.0
+        self.events = events
         self._down: Set[int] = set()
         self._slowdown: Dict[int, float] = {}
+        # Verified actuation: what each node is actually running, plus
+        # the fault machinery that can make a push miss a node.
+        self._applied: List[Configuration] = [config] * n_nodes
+        self._push_refusals: Dict[int, int] = {}
+        self._isolated: Set[int] = set()
+
+    def _publish(self, topic: str, message: str, **payload) -> None:
+        if self.events is not None:
+            self.events.publish(topic, message, **payload)
 
     # -- fault state ----------------------------------------------------------
 
@@ -103,9 +145,58 @@ class Cluster:
         self._down.add(node)
 
     def recover_node(self, node: int) -> None:
-        """Bring a failed node back into the serving set."""
+        """Bring a failed node back into the serving set.
+
+        The node rejoins with whatever configuration it last *applied* —
+        not silently with the intended one.  A rejoin whose applied
+        config has drifted from the intended config publishes a
+        ``cluster.node_recovered`` event carrying both fingerprints, so
+        a stale-config rejoin is an observable state the reconcile loop
+        can act on instead of a silent throughput anomaly.  (Clean
+        rejoins stay silent: fault-free rolling restarts recover nodes
+        constantly and must not grow the event log.)
+        """
         self._check_node_index(node)
+        was_down = node in self._down
         self._down.discard(node)
+        self._isolated.discard(node)
+        if not was_down:
+            return
+        applied = self._applied[node].fingerprint()
+        intended = self.config.fingerprint()
+        if applied != intended:
+            self._publish(
+                "cluster.node_recovered",
+                f"node {node} rejoined on stale config {applied} "
+                f"(intended {intended})",
+                node=node,
+                applied_fingerprint=applied,
+                intended_fingerprint=intended,
+                drifted=True,
+            )
+
+    def refuse_pushes(self, node: int, count: int = 1) -> None:
+        """Arm ``count`` consecutive config-push failures on one node.
+
+        The ActuationFault mechanism: the next ``count`` calls to
+        :meth:`apply_node_config` targeting ``node`` silently fail,
+        leaving the node on its old configuration.  The data plane keeps
+        serving — only read-back verification can tell.
+        """
+        self._check_node_index(node)
+        if count < 1:
+            raise ActuationError(f"refusal count must be >= 1, got {count}")
+        self._push_refusals[node] = self._push_refusals.get(node, 0) + count
+
+    def isolate_node(self, node: int) -> None:
+        """Cut a node off from config pushes (StaleRecovery mechanism).
+
+        While isolated, :meth:`apply_node_config` never reaches the node
+        — a crashed-and-isolated node rejoins with its pre-crash config.
+        Isolation clears when the node recovers.
+        """
+        self._check_node_index(node)
+        self._isolated.add(node)
 
     def set_disk_slowdown(self, node: int, factor: float) -> None:
         """Degrade a node's effective throughput by ``factor`` (>= 1).
@@ -224,10 +315,105 @@ class Cluster:
             node.load(base + (1 if i < remainder else 0))
 
     def reconfigure(self, knobs: EngineKnobs) -> None:
-        """Push new engine knobs to every node (live and down alike —
-        a recovering node comes back with the current configuration)."""
+        """Push new engine knobs to every node (legacy uniform push).
+
+        This is the pre-verified-actuation path: it cannot fail, ignores
+        refusals/isolation, and syncs every node's applied config to the
+        intended one (the knobs are assumed to derive from it).  New code
+        should go through :meth:`apply_config`, which applies per node
+        and reports what actually landed.
+        """
         for node in self.nodes:
             node.reconfigure(knobs)
+        self._applied = [self.config] * self.n_nodes
+
+    # -- verified actuation ---------------------------------------------------
+
+    def set_intended(self, config: Configuration) -> None:
+        """Declare the ring's intended configuration (no knobs pushed)."""
+        self.config = config
+
+    def apply_node_config(
+        self, node: int, config: Configuration, knobs: Optional[EngineKnobs] = None
+    ) -> bool:
+        """Push ``config`` to one node; returns whether it actually landed.
+
+        A node armed with push refusals consumes one refusal and keeps
+        its old configuration; a config-isolated node is unreachable and
+        keeps it too.  Either way the failure is *silent* at the data
+        plane — the return value (and :meth:`describe_drift` read-back)
+        is the only way to know, exactly like a real partial push.
+        """
+        self._check_node_index(node)
+        if self._push_refusals.get(node, 0) > 0:
+            remaining = self._push_refusals[node] - 1
+            if remaining:
+                self._push_refusals[node] = remaining
+            else:
+                del self._push_refusals[node]
+            return False
+        if node in self._isolated:
+            return False
+        if knobs is None:
+            knobs = self.datastore.effective_knobs(config)
+        self.nodes[node].reconfigure(knobs)
+        self._applied[node] = config
+        return True
+
+    def apply_config(
+        self, config: Configuration, nodes: Optional[Sequence[int]] = None
+    ) -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+        """Push ``config`` to ``nodes`` (default: all); per-node results.
+
+        Sets the intended config, then applies node by node; returns
+        ``(applied, failed)`` index tuples.  Partial failure is not an
+        exception — it is the drift state :meth:`describe_drift` reports
+        and the middleware reconciles.
+        """
+        targets = range(self.n_nodes) if nodes is None else list(nodes)
+        for node in targets:
+            self._check_node_index(node)
+        self.config = config
+        knobs = self.datastore.effective_knobs(config)
+        applied: List[int] = []
+        failed: List[int] = []
+        for node in targets:
+            if self.apply_node_config(node, config, knobs=knobs):
+                applied.append(node)
+            else:
+                failed.append(node)
+        return tuple(applied), tuple(failed)
+
+    @property
+    def applied_configs(self) -> Tuple[Configuration, ...]:
+        """The configuration each node is actually running."""
+        return tuple(self._applied)
+
+    def describe_drift(self) -> DriftReport:
+        """Intended-vs-applied fingerprints, per node.
+
+        Live nodes whose applied config differs from the intended one
+        are the drifted set (they are *serving* the wrong knobs); down
+        drifted nodes are reported separately.
+        """
+        intended = self.config.fingerprint()
+        fingerprints = tuple(c.fingerprint() for c in self._applied)
+        drifted = tuple(
+            i
+            for i, fp in enumerate(fingerprints)
+            if fp != intended and i not in self._down
+        )
+        down_drifted = tuple(
+            i
+            for i, fp in enumerate(fingerprints)
+            if fp != intended and i in self._down
+        )
+        return DriftReport(
+            intended_fingerprint=intended,
+            node_fingerprints=fingerprints,
+            drifted_nodes=drifted,
+            down_drifted_nodes=down_drifted,
+        )
 
     def settle(self, max_seconds: float = 600.0) -> None:
         """Drain every node's background work (between phases)."""

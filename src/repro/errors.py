@@ -32,6 +32,17 @@ class KeyNotFound(DatastoreError):
         self.key = key
 
 
+class ActuationError(DatastoreError):
+    """The verified-actuation layer was misused.
+
+    Raised for repair requests that target unknown or non-drifted nodes,
+    drift verification against an unprovisioned adapter, and other
+    misuses of the push/verify/repair protocol.  *Detected* drift is
+    never an exception — it is a reported, reconcilable state
+    (``actuate.drift`` events); this error marks protocol misuse.
+    """
+
+
 class TrainingError(ReproError):
     """Model training could not proceed (bad shapes, empty data, ...)."""
 

@@ -12,20 +12,24 @@ pipeline is bit-identical to a fault-free build.
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    ActuationFault,
     BenchFault,
     CrashPoint,
     DiskSlowdown,
     FaultPlan,
     NodeCrash,
+    StaleRecovery,
     TransientFault,
 )
 
 __all__ = [
+    "ActuationFault",
     "BenchFault",
     "CrashPoint",
     "DiskSlowdown",
     "FaultInjector",
     "FaultPlan",
     "NodeCrash",
+    "StaleRecovery",
     "TransientFault",
 ]

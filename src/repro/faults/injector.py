@@ -59,12 +59,20 @@ class FaultInjector:
         refuses (e.g. failing the last live node) is skipped and
         reported as ``fault.skipped`` rather than crashing the run.
         """
-        has_node_faults = any(
-            c.window == window or c.recover_window == window
-            for c in self.plan.node_crashes
-        ) or any(
-            s.window == window or s.end_window == window
-            for s in self.plan.disk_slowdowns
+        has_node_faults = (
+            any(
+                c.window == window or c.recover_window == window
+                for c in self.plan.node_crashes
+            )
+            or any(
+                s.window == window or s.end_window == window
+                for s in self.plan.disk_slowdowns
+            )
+            or any(a.window == window for a in self.plan.actuation_faults)
+            or any(
+                s.window == window or s.recover_window == window
+                for s in self.plan.stale_recoveries
+            )
         )
         if not has_node_faults:
             return
@@ -97,8 +105,47 @@ class FaultInjector:
                     lambda: cluster.set_disk_slowdown(slow.node, 1.0),
                     recovery=True,
                 )
+        for act in self.plan.actuation_faults:
+            if act.window == window:
+                # Arm silent push refusals: the initial push plus any
+                # blocked repair re-pushes all fail invisibly on this node.
+                refusals = 1 + act.repairs_blocked
+                try:
+                    cluster.refuse_pushes(act.node, refusals)
+                except DatastoreError as exc:
+                    self._publish(
+                        "fault.skipped",
+                        f"skipped partial-push on node {act.node}: {exc}",
+                        kind="partial-push", window=window, node=act.node,
+                        reason=str(exc),
+                    )
+                    continue
+                self.injected_count += 1
+                self._publish(
+                    "fault.actuation.partial_push",
+                    f"armed partial push on node {act.node} "
+                    f"(window {window}, {refusals} refusal(s))",
+                    kind="partial-push", window=window, node=act.node,
+                    refusals=refusals,
+                )
+        for stale in self.plan.stale_recoveries:
+            if stale.window == window:
+                def crash_isolated(node=stale.node):
+                    cluster.fail_node(node)
+                    cluster.isolate_node(node)
+                self._apply(
+                    "stale-crash", window, stale.node, crash_isolated,
+                    topic="fault.actuation.stale_crash",
+                )
+            if stale.recover_window == window:
+                self._apply(
+                    "stale-recover", window, stale.node,
+                    lambda node=stale.node: cluster.recover_node(node),
+                    recovery=True, topic="fault.actuation.stale_recovery",
+                )
 
-    def _apply(self, kind, window, node, action, recovery=False, **payload):
+    def _apply(self, kind, window, node, action, recovery=False, topic=None,
+               **payload):
         try:
             action()
         except DatastoreError as exc:
@@ -108,7 +155,8 @@ class FaultInjector:
                 kind=kind, window=window, node=node, reason=str(exc),
             )
             return
-        topic = "fault.recovered" if recovery else "fault.injected"
+        if topic is None:
+            topic = "fault.recovered" if recovery else "fault.injected"
         if not recovery:
             self.injected_count += 1
         self._publish(

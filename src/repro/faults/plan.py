@@ -81,6 +81,52 @@ class TransientFault:
 
 
 @dataclass(frozen=True)
+class ActuationFault:
+    """A config push silently fails on one node at ``window``.
+
+    The node stays up and keeps serving on its *old* configuration — a
+    partial push.  ``repairs_blocked`` extends the refusal to that many
+    subsequent re-pushes as well, so a plan can exercise the repair
+    budget (0 means the first repair attempt succeeds).  Detection is
+    the actuation layer's job (``verify_config`` read-back), which is
+    the point: the failure itself is invisible at push time.
+    """
+
+    window: int
+    node: int
+    repairs_blocked: int = 0
+
+    def validate(self) -> None:
+        if self.window < 0 or self.node < 0:
+            raise FaultError(f"actuation fault schedule must be non-negative: {self}")
+        if self.repairs_blocked < 0:
+            raise FaultError(
+                f"repairs_blocked must be >= 0, got {self.repairs_blocked}"
+            )
+
+
+@dataclass(frozen=True)
+class StaleRecovery:
+    """A node crashes at ``window`` and rejoins on its pre-crash config.
+
+    Unlike a plain :class:`NodeCrash`, config pushes issued while the
+    node is down never reach it, so if the controller re-tunes during
+    the outage the rejoining node serves stale knobs — the classic
+    silent-drift source this PR's reconciler exists to catch.
+    """
+
+    window: int
+    node: int
+    recover_window: int
+
+    def validate(self) -> None:
+        if self.window < 0 or self.node < 0:
+            raise FaultError(f"stale recovery schedule must be non-negative: {self}")
+        if self.recover_window <= self.window:
+            raise FaultError(f"recovery must come after the crash: {self}")
+
+
+@dataclass(frozen=True)
 class CrashPoint:
     """A process kill striking an LSM engine after ``op`` operations.
 
@@ -131,6 +177,8 @@ class FaultPlan:
     transient_faults: Tuple[TransientFault, ...] = ()
     bench_faults: Tuple[BenchFault, ...] = field(default_factory=tuple)
     crash_points: Tuple[CrashPoint, ...] = field(default_factory=tuple)
+    actuation_faults: Tuple[ActuationFault, ...] = field(default_factory=tuple)
+    stale_recoveries: Tuple[StaleRecovery, ...] = field(default_factory=tuple)
 
     def __post_init__(self):
         # Tolerate lists in hand-written plans.
@@ -139,6 +187,8 @@ class FaultPlan:
         object.__setattr__(self, "transient_faults", tuple(self.transient_faults))
         object.__setattr__(self, "bench_faults", tuple(self.bench_faults))
         object.__setattr__(self, "crash_points", tuple(self.crash_points))
+        object.__setattr__(self, "actuation_faults", tuple(self.actuation_faults))
+        object.__setattr__(self, "stale_recoveries", tuple(self.stale_recoveries))
 
     def validate(self, n_nodes: Optional[int] = None) -> None:
         """Check schedule sanity; with ``n_nodes``, also node ranges."""
@@ -148,10 +198,17 @@ class FaultPlan:
             *self.transient_faults,
             *self.bench_faults,
             *self.crash_points,
+            *self.actuation_faults,
+            *self.stale_recoveries,
         ):
             item.validate()
         if n_nodes is not None:
-            for item in (*self.node_crashes, *self.disk_slowdowns):
+            for item in (
+                *self.node_crashes,
+                *self.disk_slowdowns,
+                *self.actuation_faults,
+                *self.stale_recoveries,
+            ):
                 if item.node >= n_nodes:
                     raise FaultError(
                         f"fault targets node {item.node} but the cluster has "
@@ -166,12 +223,22 @@ class FaultPlan:
             or self.transient_faults
             or self.bench_faults
             or self.crash_points
+            or self.actuation_faults
+            or self.stale_recoveries
         )
 
     @property
     def max_node(self) -> int:
         """Highest node index any fault touches (-1 if none)."""
-        nodes = [f.node for f in (*self.node_crashes, *self.disk_slowdowns)]
+        nodes = [
+            f.node
+            for f in (
+                *self.node_crashes,
+                *self.disk_slowdowns,
+                *self.actuation_faults,
+                *self.stale_recoveries,
+            )
+        ]
         return max(nodes) if nodes else -1
 
     # -- generation ----------------------------------------------------------
@@ -188,6 +255,8 @@ class FaultPlan:
         push_fault_probability: float = 0.03,
         max_outage_windows: int = 3,
         max_slowdown_factor: float = 4.0,
+        actuation_fault_probability: float = 0.0,
+        stale_recovery_probability: float = 0.0,
     ) -> "FaultPlan":
         """Draw a random-but-reproducible plan for an online run.
 
@@ -205,6 +274,8 @@ class FaultPlan:
         crashes = []
         slowdowns = []
         transients = []
+        actuations = []
+        stales = []
         down_until = -1  # last window of the currently scheduled outage
         for w in range(n_windows):
             if n_nodes > 1 and w > down_until and rng.random() < crash_probability:
@@ -244,10 +315,41 @@ class FaultPlan:
                         kind="push", window=w, failures=int(rng.integers(1, 3))
                     )
                 )
+            # The actuation classes default to probability 0 and short-circuit
+            # before touching the RNG, so plans drawn by older callers keep
+            # their exact draw sequence.
+            if (
+                n_nodes > 1
+                and actuation_fault_probability > 0.0
+                and rng.random() < actuation_fault_probability
+            ):
+                actuations.append(
+                    ActuationFault(
+                        window=w,
+                        node=int(rng.integers(n_nodes)),
+                        repairs_blocked=int(rng.integers(0, 2)),
+                    )
+                )
+            if (
+                n_nodes > 1
+                and stale_recovery_probability > 0.0
+                and w > down_until
+                and w + 1 < n_windows
+                and rng.random() < stale_recovery_probability
+            ):
+                node = int(rng.integers(n_nodes))
+                outage = int(rng.integers(1, max_outage_windows + 1))
+                recover = min(w + outage, n_windows - 1)
+                stales.append(
+                    StaleRecovery(window=w, node=node, recover_window=recover)
+                )
+                down_until = recover
         return cls(
             node_crashes=tuple(crashes),
             disk_slowdowns=tuple(slowdowns),
             transient_faults=tuple(transients),
+            actuation_faults=tuple(actuations),
+            stale_recoveries=tuple(stales),
         )
 
     # -- (de)serialization ---------------------------------------------------
@@ -259,6 +361,8 @@ class FaultPlan:
             "transient_faults": [asdict(t) for t in self.transient_faults],
             "bench_faults": [asdict(b) for b in self.bench_faults],
             "crash_points": [asdict(p) for p in self.crash_points],
+            "actuation_faults": [asdict(a) for a in self.actuation_faults],
+            "stale_recoveries": [asdict(s) for s in self.stale_recoveries],
         }
 
     def to_json(self) -> str:
@@ -282,6 +386,12 @@ class FaultPlan:
                 ),
                 crash_points=tuple(
                     CrashPoint(**p) for p in payload.get("crash_points", [])
+                ),
+                actuation_faults=tuple(
+                    ActuationFault(**a) for a in payload.get("actuation_faults", [])
+                ),
+                stale_recoveries=tuple(
+                    StaleRecovery(**s) for s in payload.get("stale_recoveries", [])
                 ),
             )
         except TypeError as exc:

@@ -23,6 +23,14 @@ and actuation, and bulkhead budgets; the scheduler's
 deterministic priority shedding.  All of it is off by default — an
 unguarded run is bit-identical to the pre-guard scheduler.
 
+Verified actuation rides at the same tier: a per-tenant
+:class:`DriftReconciler` (configured by :class:`ReconcileSpec`) reads
+back the per-node applied configs after every actuate/recover point,
+repairs partial pushes and stale recoveries within a bounded rolling
+repair budget, and quarantines windows that ran on a mixed-config ring
+so the canary EWMA and SLO budget never ingest drifted throughput.
+Off by default, like the guards.
+
 The legacy single-tenant ``OnlineController`` API survives as a thin
 shim over one session; its runs are bit-identical to before.
 """
@@ -40,6 +48,11 @@ from repro.middleware.manifest import (
     load_manifest,
     parse_manifest,
     specs_from_manifest,
+)
+from repro.middleware.reconcile import (
+    DriftReconciler,
+    ReconcileOutcome,
+    ReconcileSpec,
 )
 from repro.middleware.scheduler import MiddlewareScheduler, TenantSpec
 from repro.middleware.session import (
@@ -70,4 +83,7 @@ __all__ = [
     "GuardSpec",
     "TenantGuard",
     "CapacityLedger",
+    "ReconcileSpec",
+    "ReconcileOutcome",
+    "DriftReconciler",
 ]

@@ -164,9 +164,19 @@ class TenantGuard:
         """Report an attempted push's outcome to breaker + bulkhead."""
         self._record(self.push_breaker, self._push_bulkhead, window, ok)
 
+    def trip_push(self, window: int, reason: str) -> None:
+        """Force the push breaker open (e.g. unrepaired config drift)."""
+        change = self.push_breaker.force_open(window)
+        self._breaker_event("push", change, window, reason=reason)
+
     def observe_window(self, event) -> None:
         """Score one sealed window against the SLO; react to the budget."""
         if self.slo is None:
+            return
+        if getattr(event, "quarantined", False):
+            # The window ran on a mixed-config ring: its throughput says
+            # nothing about the intended configuration, so it neither
+            # burns nor recovers the SLO error budget.
             return
         violated, transition = self.slo.score(event)
         if violated:

@@ -45,6 +45,15 @@ may carry nested ``slo`` / ``guard`` stanzas plus a ``priority``::
     breaker_failures = 3
     max_restarts = 2
 
+Verified actuation is a third nested stanza: ``[tenants.reconcile]``
+(or ``[defaults.reconcile]``) turns on per-window drift read-back,
+bounded repair, and telemetry quarantine::
+
+    [tenants.reconcile]
+    max_repairs = 2                # per rolling span; omit = uncapped
+    span = 8
+    escalate = true
+
 Unknown keys are rejected (manifests must not silently drift from the
 schema) — including inside the nested ``slo`` / ``guard`` stanzas —
 ``[defaults]`` applies to every tenant that does not override, and
@@ -62,6 +71,7 @@ from repro.core.policies import HysteresisPolicy, make_policy
 from repro.errors import GuardError, PersistenceError, SearchError
 from repro.faults.plan import FaultPlan
 from repro.middleware.guard import GUARD_STANZA_KEYS, GuardSpec
+from repro.middleware.reconcile import RECONCILE_STANZA_KEYS, ReconcileSpec
 from repro.middleware.scheduler import TenantSpec
 from repro.middleware.slo import SLO_STANZA_KEYS, SloSpec
 from repro.workload.forecast import MarkovRegimeForecaster
@@ -91,6 +101,7 @@ TENANT_KEYS = frozenset(
         "priority",
         "slo",
         "guard",
+        "reconcile",
     }
 )
 
@@ -116,6 +127,7 @@ _TENANT_DEFAULTS: Dict[str, Any] = {
     "priority": 0,
     "slo": None,
     "guard": None,
+    "reconcile": None,
 }
 
 
@@ -215,6 +227,12 @@ def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> Tenant
     _check_stanza(
         defaults.get("guard"), GUARD_STANZA_KEYS, "[defaults.guard]", source
     )
+    _check_stanza(
+        defaults.get("reconcile"),
+        RECONCILE_STANZA_KEYS,
+        "[defaults.reconcile]",
+        source,
+    )
     raw_tenants = document.get("tenants")
     if not isinstance(raw_tenants, list) or not raw_tenants:
         raise PersistenceError(
@@ -236,10 +254,16 @@ def parse_manifest(document: Dict[str, Any], source: str = "<memory>") -> Tenant
         _check_stanza(
             entry.get("guard"), GUARD_STANZA_KEYS, f"tenant #{i} [guard]", source
         )
+        _check_stanza(
+            entry.get("reconcile"),
+            RECONCILE_STANZA_KEYS,
+            f"tenant #{i} [reconcile]",
+            source,
+        )
         merged = {**_TENANT_DEFAULTS, **defaults, **entry}
         # Nested stanzas merge key-wise, not wholesale: a tenant's [slo]
         # refines the [defaults.slo] baseline instead of replacing it.
-        for stanza in ("slo", "guard"):
+        for stanza in ("slo", "guard", "reconcile"):
             merged[stanza] = _merge_stanza(
                 defaults.get(stanza), entry.get(stanza)
             )
@@ -314,6 +338,11 @@ def specs_from_manifest(
                 if entry["guard"] is not None
                 else None
             )
+            reconcile = (
+                ReconcileSpec.from_dict(entry["reconcile"])
+                if entry["reconcile"] is not None
+                else None
+            )
             specs.append(
                 TenantSpec(
                     tenant_id=entry["id"],
@@ -334,6 +363,7 @@ def specs_from_manifest(
                     priority=int(entry["priority"]),
                     slo=slo,
                     guard=guard,
+                    reconcile=reconcile,
                 )
             )
         except (GuardError, SearchError, TypeError, ValueError) as exc:

@@ -77,6 +77,7 @@ from repro.errors import MiddlewareError, SearchError
 from repro.faults.plan import FaultPlan
 from repro.middleware.guard import GuardSpec, TenantGuard
 from repro.middleware.ledger import CapacityLedger
+from repro.middleware.reconcile import DriftReconciler, ReconcileSpec
 from repro.middleware.session import TenantSession
 from repro.middleware.slo import SloSpec
 from repro.runtime.backend import (
@@ -136,10 +137,15 @@ def _attach_session_bus(session: TenantSession, bus) -> None:
     """Point every bus reference a session's step() publishes on at ``bus``."""
     session.events = bus
     session.adapter.events = bus
+    cluster = getattr(session.adapter, "cluster", None)
+    if cluster is not None:
+        cluster.events = bus
     if session._injector is not None:
         session._injector.events = bus
     if session.guard is not None:
         session.guard.events = bus
+    if session.reconciler is not None:
+        session.reconciler.events = bus
 
 
 def _shard_window_worker(task):
@@ -193,6 +199,8 @@ class TenantSpec:
     priority: int = 0
     slo: Optional[SloSpec] = None
     guard: Optional[GuardSpec] = None
+    # Verified actuation (None keeps the tenant on blind actuation).
+    reconcile: Optional[ReconcileSpec] = None
 
     def __post_init__(self):
         if not self.tenant_id or self.tenant_id != self.tenant_id.strip():
@@ -219,6 +227,15 @@ class TenantSpec:
                     "node crash/slowdown faults need a multi-node cluster "
                     "(n_nodes >= 2); a single server only takes "
                     "control-plane faults"
+                )
+            if self.n_nodes == 1 and (
+                self.fault_plan.actuation_faults
+                or self.fault_plan.stale_recoveries
+            ):
+                raise SearchError(
+                    "actuation faults (partial push, stale recovery) need a "
+                    "multi-node cluster (n_nodes >= 2); a single server has "
+                    "no ring to drift"
                 )
 
 
@@ -320,12 +337,18 @@ class MiddlewareScheduler:
                 spec=spec.guard or GuardSpec(),
                 events=scoped,
             )
+        reconciler = None
+        if spec.reconcile is not None:
+            reconciler = DriftReconciler(
+                spec.tenant_id, spec=spec.reconcile, events=scoped
+            )
         session = TenantSession(
             self.datastore,
             self.rafiki if spec.use_rafiki else None,
             adapter,
             spec.policy,
             guard=guard,
+            reconciler=reconciler,
             tenant_id=spec.tenant_id,
             window_seconds=spec.window_seconds,
             reconfiguration_penalty_s=spec.reconfiguration_penalty_s,

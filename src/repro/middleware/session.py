@@ -3,7 +3,7 @@
 The monolithic ``OnlineController.run()`` window loop is decomposed here
 into discrete, resumable phases::
 
-    OBSERVE -> DECIDE -> ACTUATE -> EXECUTE -> CANARY -> RECORD
+    OBSERVE -> DECIDE -> ACTUATE -> RECONCILE -> EXECUTE -> CANARY -> RECORD
 
 Each :meth:`TenantSession.step` drives exactly one workload window
 through those phases (``advance_phase`` runs a single transition, so a
@@ -34,6 +34,15 @@ blocked operation holds the current configuration (never an error), and
 canary *rollbacks* are deliberately never guard-gated — reverting a bad
 push is the safety action.  ``guard=None`` (the default) leaves every
 phase bit-identical to the unguarded loop.
+
+``reconciler=`` attaches a
+:class:`~repro.middleware.reconcile.DriftReconciler`: the RECONCILE
+phase (after ACTUATE, before EXECUTE) reads back the per-node applied
+configs, repairs partial pushes and stale recoveries within the repair
+budget, and *quarantines* windows that ran under drift — the canary
+EWMA and SLO tracker skip them.  Unrepairable drift degrades the window
+and trips the push breaker.  ``reconciler=None`` (the default) skips
+verification entirely — bit-identical to the blind-actuation loop.
 """
 
 from __future__ import annotations
@@ -61,7 +70,9 @@ from repro.workload.forecast import RRForecaster
 from repro.workload.trace import DEFAULT_WINDOW_SECONDS
 
 #: Phase order of one window, OBSERVE first.
-SESSION_PHASES = ("observe", "decide", "actuate", "execute", "canary", "record")
+SESSION_PHASES = (
+    "observe", "decide", "actuate", "reconcile", "execute", "canary", "record"
+)
 
 #: How configuration pushes land on the datastore.
 RESTART_POLICIES = ("instant", "rolling")
@@ -81,6 +92,9 @@ class WindowState:
     decision_rr: Optional[float] = None
     target: Optional[Configuration] = None
     rolling_report: Optional[RollingRestartReport] = None
+    repair_report: Optional[RollingRestartReport] = None
+    quarantined: bool = False
+    drifted_nodes: Tuple[int, ...] = ()
     steps: List = field(default_factory=list)
     mean_throughput: float = 0.0
     event: Optional[ControllerEvent] = None
@@ -108,6 +122,7 @@ class TenantSession:
         passive_forecaster: Optional[RRForecaster] = None,
         trace_phases: bool = False,
         guard=None,
+        reconciler=None,
     ):
         if restart_policy not in RESTART_POLICIES:
             raise SearchError(
@@ -122,7 +137,9 @@ class TenantSession:
                     "canary guard needs a rafiki exposing predicted_mean_std"
                 )
         if fault_plan is not None:
-            fault_plan.validate()
+            # Validate against the tenant's actual ring size so a plan
+            # targeting node 7 on a 3-node tenant fails here, not mid-run.
+            fault_plan.validate(n_nodes=getattr(adapter, "n_nodes", None))
         self.datastore = datastore
         self.rafiki = rafiki
         self.adapter = adapter
@@ -142,6 +159,10 @@ class TenantSession:
         # tracking, search/push circuit breakers, bulkhead budgets.
         # guard=None keeps every phase bit-identical to the unguarded loop.
         self.guard = guard
+        # Optional verified actuation (see repro.middleware.reconcile):
+        # drift read-back, bounded repair, telemetry quarantine.
+        # reconciler=None skips verification — the blind-actuation loop.
+        self.reconciler = reconciler
 
         self.phase: str = "created"
         self.result = ControllerRun()
@@ -345,6 +366,35 @@ class TenantSession:
                 window=ws.index,
             )
 
+    def _phase_reconcile(self, ws: WindowState) -> None:
+        """Verify what the push actually applied; repair or quarantine."""
+        if self.reconciler is None:
+            return
+        outcome = self.reconciler.reconcile(
+            ws.index,
+            self.adapter,
+            ws.read_ratio,
+            rolling=(self.restart_policy == "rolling"),
+        )
+        if not outcome.drift_detected:
+            return
+        ws.quarantined = outcome.quarantined
+        ws.drifted_nodes = outcome.drifted_nodes
+        ws.repair_report = outcome.repair_report
+        if outcome.escalated:
+            # Unrepairable drift: the ring is serving unverified knobs.
+            # Degrade the window and stop layering new pushes on top.
+            ws.degraded = True
+            self._publish(
+                "controller.degraded",
+                f"config drift unrepaired (window {ws.index}); "
+                "entering degraded mode",
+                reason="drift",
+                window=ws.index,
+            )
+            if self.guard is not None:
+                self.guard.trip_push(ws.index, reason="drift")
+
     def _phase_execute(self, ws: WindowState) -> None:
         """Serve the window; downtime and backoff charge against it."""
         self.policy.observe(ws.read_ratio)
@@ -353,7 +403,10 @@ class TenantSession:
         self._previous_rr = ws.read_ratio
 
         duration = self.window_seconds
-        if ws.rolling_report is None:
+        reports = [
+            r for r in (ws.rolling_report, ws.repair_report) if r is not None
+        ]
+        if not reports:
             # Proactive (forecast-driven) reconfiguration happens at the
             # window boundary, overlapping idle time; reactive/oracle
             # reconfiguration eats into the window.  Retry backoff is
@@ -366,13 +419,14 @@ class TenantSession:
             lost = min(lost + ws.retry_lost, duration)
             ws.steps = self.adapter.run(ws.read_ratio, duration - lost, dt=1.0)
         else:
-            # The rolling restart already consumed part of the window
-            # (its steps served real, reduced throughput); no flat
-            # penalty on top — the restart IS the reconfiguration cost.
-            consumed = min(ws.rolling_report.duration_s, duration)
+            # The rolling restart (and any drift repair) already consumed
+            # part of the window — their steps served real, reduced
+            # throughput; no flat penalty on top — the restart IS the
+            # reconfiguration cost.
+            consumed = min(sum(r.duration_s for r in reports), duration)
             lost = min(ws.retry_lost, duration - consumed)
             remaining = duration - consumed - lost
-            ws.steps = list(ws.rolling_report.steps)
+            ws.steps = [s for r in reports for s in r.steps]
             if remaining >= 1.0:
                 ws.steps += self.adapter.run(ws.read_ratio, remaining, dt=1.0)
         window_ops = sum(s.throughput * s.dt for s in ws.steps)
@@ -388,6 +442,12 @@ class TenantSession:
         """Judge a canaried push against the surrogate's promise."""
         if self.canary_margin is None or self.rafiki is None:
             return
+        if ws.quarantined:
+            # Mixed-config throughput is not evidence about the intended
+            # configuration: don't judge the canary or fold this window
+            # into the ratio baseline.  A pending canary stays pending
+            # and is judged on the next clean window.
+            return
         ws.rolled_back = self._canary_check(ws)
 
     def _phase_record(self, ws: WindowState) -> None:
@@ -402,6 +462,7 @@ class TenantSession:
             mean_throughput=ws.mean_throughput,
             rolled_back=ws.rolled_back,
             degraded=ws.degraded,
+            quarantined=ws.quarantined,
         )
         self.result.events.append(ws.event)
         self._window_index += 1
