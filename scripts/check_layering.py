@@ -93,6 +93,16 @@ SUBLAYERS = {
         "adapter": 2,
         "__init__": 3,
     },
+    # Runtime: events and deprecation are leaf vocabulary; the state
+    # shipper publishes on the bus, and the pool backend is a peer that
+    # may one day warm worker caches itself.
+    "runtime": {
+        "deprecation": 0,
+        "events": 0,
+        "stateship": 1,
+        "backend": 1,
+        "__init__": 2,
+    },
 }
 
 

@@ -33,6 +33,23 @@ the GA search is deterministic given the round-start seed stream,
 two tenants racing the same regime in one round compute the *same*
 result the serial run's cache hit would have returned, so sharded runs
 are bit-identical to serial (see ``tests/test_sharded_scheduler.py``).
+
+**State shipping.**  The round-start rafiki copy does *not* travel as
+a fresh pickle in every task: the scheduler fingerprints the
+decision-relevant state (ensemble weights, cache contents, seed-stream
+counters — not hit/miss stats or LRU order, which mutate on every
+lookup without affecting results) and, through a
+:class:`~repro.runtime.stateship.StateShipper`, ships the full blob
+only when the fingerprint changes (first round, post-retrain, a new
+regime entering the cache).  Steady-state rounds ship the 16-byte
+fingerprint; each persistent-pool worker unpickles from its local blob
+cache.  A worker that missed the broadcast (fresh pool, post-crash
+rebuild) answers with a ``StateMiss`` before touching its session and
+the parent re-runs that one task blob-attached.  The protocol is
+observable as ``backend.state_shipped_bytes`` / ``backend.state_hit``
+/ ``backend.state_miss`` events — the only topics exempt from the
+serial == sharded event-sequence contract, because blob placement
+depends on OS scheduling.
 The rafiki's own event bus must be unset (worker copies cannot replay
 mid-search progress events).  The second historical caveat — the
 recommendation cache evicting *within* one window round — is now
@@ -59,6 +76,7 @@ scales every admitted window by the round's capacity factor.
 
 from __future__ import annotations
 
+import hashlib
 import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -87,6 +105,14 @@ from repro.runtime.backend import (
     resolve_backend,
 )
 from repro.runtime.events import EventBus
+from repro.runtime.stateship import (
+    StateMiss,
+    StateMissError,
+    StateShipment,
+    StateShipper,
+    install_shipment,
+    state_fingerprint,
+)
 from repro.sim.clock import SimClock
 from repro.sim.rng import SeedSequence
 from repro.workload.spec import WorkloadSpec
@@ -154,21 +180,33 @@ def _shard_window_worker(task):
     The session arrives with its bus references stripped (they hold
     parent-side subscriber callables that must not travel); a recording
     bus takes their place so the step's event stream can be replayed in
-    the parent.  Returns ``(session, event_records, search_records)``
-    with the buses stripped again for the trip home.
+    the parent.  The shared rafiki state arrives as a
+    :class:`~repro.runtime.stateship.StateShipment`: blob-attached on a
+    fingerprint change, fingerprint-only in steady state, resolved
+    against this worker process's blob cache.  A fingerprint-only
+    shipment that misses the cache returns a
+    :class:`~repro.runtime.stateship.StateMiss` marker *before touching
+    the session*, so the parent can re-run the task with the blob
+    attached.  Returns ``(session, event_records, search_records,
+    state_from_cache)`` with the buses stripped again for the trip home.
     """
-    tenant_id, read_ratio, capacity_factor, session, rafiki_blob = task
+    tenant_id, read_ratio, capacity_factor, session, shipment = task
+    searches: List[tuple] = []
+    from_cache = False
+    if shipment is not None:
+        try:
+            blob, from_cache = install_shipment(shipment)
+        except StateMissError:
+            return StateMiss(shipment.fingerprint)
+        session.rafiki = _RecordingRafiki(pickle.loads(blob), searches)
     recorder = _RecordingBus()
     _attach_session_bus(session, recorder.scoped(f"tenant.{tenant_id}"))
-    searches: List[tuple] = []
-    if rafiki_blob is not None:
-        session.rafiki = _RecordingRafiki(pickle.loads(rafiki_blob), searches)
     try:
         session.step(read_ratio, capacity_factor=capacity_factor)
     finally:
         _attach_session_bus(session, None)
         session.rafiki = None
-    return session, recorder.records, searches
+    return session, recorder.records, searches, from_cache
 
 
 @dataclass
@@ -287,10 +325,18 @@ class MiddlewareScheduler:
         # routes every round through the sharded path.
         if backend is not None:
             self.backend: Optional[ExecutionBackend] = backend
+            self._owns_backend = False
         elif workers is not None and workers > 1:
             self.backend = resolve_backend(workers=workers)
+            self._owns_backend = True
         else:
             self.backend = None
+            self._owns_backend = False
+        # One shipper per scheduler: the shared rafiki is the one big
+        # blob whose steady-state rounds should ship O(1) bytes.
+        self._shipper = (
+            StateShipper(events=self.events) if self.backend is not None else None
+        )
         # cluster_capacity activates admission control + the overload
         # model; None (the default) keeps runs bit-identical to the
         # unguarded scheduler.
@@ -562,7 +608,7 @@ class MiddlewareScheduler:
         the serial loop would have recorded them.
         """
         served = [t for t in active if t not in shed]
-        blob = self._rafiki_blob() if any(
+        shipment = self._prepare_state_shipment() if any(
             self._tenants[t][0].use_rafiki for t in served
         ) else None
         cache = getattr(self.rafiki, "cache", None)
@@ -576,17 +622,21 @@ class MiddlewareScheduler:
             spec, session = self._tenants[tenant_id]
             _attach_session_bus(session, None)
             session.rafiki = None
+            task_shipment = shipment if spec.use_rafiki else None
+            if task_shipment is not None:
+                self._shipper.count_task(task_shipment)
             tasks.append(
                 (
                     tenant_id,
                     float(spec.rr_series[w]),
                     float(factor),
                     session,
-                    blob if spec.use_rafiki else None,
+                    task_shipment,
                 )
             )
         try:
             outcomes = self.backend.map_tasks(_shard_window_worker, tasks)
+            outcomes = self._refetch_state_misses(tasks, outcomes)
         finally:
             # On a worker-raised error the parent-side sessions are left
             # bus-stripped; restore them so the scheduler stays usable.
@@ -599,7 +649,9 @@ class MiddlewareScheduler:
             if tenant_id in shed:
                 session.record_shed_window(spec.rr_series[w])
                 continue
-            session, event_records, search_records = next(results)
+            session, event_records, search_records, from_cache = next(results)
+            if from_cache:
+                self._shipper.record_hit(tenant=tenant_id, window=w)
             self._reattach(spec, session)
             self._tenants[tenant_id] = (spec, session)
             self._merge_searches(search_records)
@@ -621,6 +673,101 @@ class MiddlewareScheduler:
             session, self.events.scoped(f"tenant.{spec.tenant_id}")
         )
         session.rafiki = self.rafiki if spec.use_rafiki else None
+
+    def _state_fingerprint(self) -> str:
+        """Stable content hash of the shared rafiki's *decision-relevant*
+        state.
+
+        Covers everything a worker's ``recommend()`` result can depend
+        on — ensemble weights, cache *contents*, named-seed-stream
+        counters, GA budget knobs — while deliberately excluding the
+        volatile bookkeeping that mutates on every lookup (cache
+        hit/miss stats, LRU recency order, surrogate wall-clock stats).
+        Two states with equal fingerprints therefore produce bitwise-
+        identical worker results, which is what lets steady-state
+        rounds ship the fingerprint instead of the blob.  Duck-typed
+        recommenders without the real cache/seeds structure fall back
+        to hashing their full (stripped) pickle.
+        """
+        rafiki = self.rafiki
+        cache = getattr(rafiki, "cache", None)
+        seeds = getattr(rafiki, "seeds", None)
+        if isinstance(cache, RecommendationCache) and isinstance(
+            seeds, SeedSequence
+        ):
+            optimizer = rafiki.optimizer
+            knobs = {
+                key: value
+                for key, value in vars(optimizer).items()
+                if key not in ("surrogate", "bus")
+            }
+            canonical = (
+                rafiki.surrogate.ensemble,
+                rafiki.surrogate.feature_parameters,
+                knobs,
+                sorted(cache._entries.items()),
+                (cache.resolution, cache.capacity),
+                (seeds.root_seed, sorted(seeds._counts.items())),
+            )
+            digest = hashlib.sha256(pickle.dumps(canonical)).hexdigest()
+            return digest[:16]
+        return state_fingerprint(self._rafiki_blob())
+
+    def _prepare_state_shipment(self) -> StateShipment:
+        """This round's rafiki shipment: blob on fingerprint change,
+        fingerprint-only otherwise (the blob pickle is skipped too)."""
+        return self._shipper.prepare(self._state_fingerprint(), self._rafiki_blob)
+
+    def _refetch_state_misses(self, tasks, outcomes) -> list:
+        """Re-run tasks whose worker lacked the state blob.
+
+        A fresh or restarted worker (new pool, ``persistent=False``
+        backend, post-crash rebuild, serial fallback in a parent that
+        never cached the blob) answers a fingerprint-only shipment with
+        a :class:`StateMiss` *before* touching its session, so the task
+        is safely re-runnable with the blob attached — a one-shot
+        refetch per task.
+        """
+        missed = [
+            index
+            for index, outcome in enumerate(outcomes)
+            if isinstance(outcome, StateMiss)
+        ]
+        if not missed:
+            return outcomes
+        retry_tasks = []
+        for index in missed:
+            tenant_id, read_ratio, factor, session, shipment = tasks[index]
+            self._shipper.record_miss(tenant=tenant_id)
+            refetch = self._shipper.refetch(shipment.fingerprint)
+            self._shipper.count_task(refetch)
+            retry_tasks.append((tenant_id, read_ratio, factor, session, refetch))
+        retried = self.backend.map_tasks(_shard_window_worker, retry_tasks)
+        outcomes = list(outcomes)
+        for index, outcome in zip(missed, retried):
+            if isinstance(outcome, StateMiss):  # blob travelled: impossible
+                raise MiddlewareError(
+                    "worker missed the state blob on a blob-attached refetch"
+                )
+            outcomes[index] = outcome
+        return outcomes
+
+    def state_report(self) -> Optional[dict]:
+        """State-shipping counters (None for the in-process serial loop)."""
+        return self._shipper.report() if self._shipper is not None else None
+
+    def close(self) -> None:
+        """Release the execution backend if this scheduler created it
+        (``workers=N``); an explicitly injected backend stays open —
+        its lifecycle belongs to the caller."""
+        if self._owns_backend and self.backend is not None:
+            self.backend.close()
+
+    def __enter__(self) -> "MiddlewareScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _rafiki_blob(self) -> bytes:
         """Pickle the shared rafiki with its bus references detached."""

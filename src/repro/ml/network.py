@@ -124,12 +124,27 @@ class FeedForwardNetwork:
         the Levenberg-Marquardt trainer where residual Jacobian rows are
         exactly these derivatives.
         """
+        return self.forward_with_jacobian(x)[1]
+
+    def forward_with_jacobian(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """One forward pass serving both prediction and weight Jacobian.
+
+        Both trainers need the network output *and* its derivative at
+        the same weights every step; calling :meth:`predict` then
+        :meth:`jacobian` forwards the batch twice.  The forward pass
+        already produces the activations backprop needs, so this method
+        returns ``(predictions, jacobian)`` for the cost of one forward
+        — bit-identical to the two separate calls (same
+        :meth:`_forward_full` path, same reduction order).
+        """
         if self.layer_sizes[-1] != 1:
-            raise TrainingError("jacobian supports single-output networks only")
+            raise TrainingError(
+                "forward_with_jacobian supports single-output networks only"
+            )
         x = np.asarray(x, dtype=float)
         if x.ndim == 1:
             x = x[None, :]
-        _, acts = self._forward_full(x)
+        out, acts = self._forward_full(x)
         n = x.shape[0]
         grads: List[np.ndarray] = []
         # delta at output: d out / d z_L = 1 (linear unit).
@@ -143,7 +158,7 @@ class FeedForwardNetwork:
             if i > 0:
                 delta = (delta @ self.weights[i].T) * (1.0 - acts[i] ** 2)
         # grads collected output->input; the flat vector is input->output.
-        return np.concatenate(list(reversed(grads)), axis=1)
+        return out[:, 0], np.concatenate(list(reversed(grads)), axis=1)
 
     def __repr__(self) -> str:
         return f"FeedForwardNetwork({self.layer_sizes}, {self.n_weights} weights)"

@@ -12,6 +12,23 @@ framework:
 Training runs to convergence or 200 epochs, whichever comes first — the
 paper stresses it must not early-stop (§3.6.2).  An Adam + fixed-L2
 trainer is provided as a cheaper fallback for large datasets.
+
+Numerical note (factorization reuse): the regularized Hessians here —
+``beta J^T J + (alpha + mu) I`` for the LM step and ``beta J^T J +
+alpha I`` for the evidence update — are symmetric positive definite by
+construction, so each is factored **once with Cholesky** and the factor
+is reused for every solve against it: the step solve runs two
+triangular substitutions, and the evidence trace term uses
+``tr(H^-1) = ||L^-1||_F^2`` (one triangular solve against the
+identity) instead of the explicit ``np.linalg.inv`` + ``trace`` the
+seed implementation paid per epoch.  The original ``LinAlgError``
+fallbacks are preserved verbatim: a non-positive-definite step Hessian
+escalates ``mu``, a failed evidence factorization falls back to
+``gamma = W/2``.  Equivalence to the LU-solve/explicit-inverse
+reference is *numerical, not bitwise* — factorization order differs —
+within ``EQUIVALENCE_RTOL`` relative tolerance on weights, gamma, and
+the objective (pinned by ``tests/test_ml_train.py``); determinism
+under a fixed seed is unaffected.
 """
 
 from __future__ import annotations
@@ -24,8 +41,39 @@ import numpy as np
 from repro.errors import TrainingError
 from repro.ml.network import FeedForwardNetwork
 
+try:  # Triangular solves without the general-LU detour; optional.
+    from scipy.linalg import solve_triangular as _solve_triangular
+except ImportError:  # pragma: no cover - exercised where scipy is absent
+    _solve_triangular = None
+
 #: The paper's epoch cap (§4.3).
 MAX_EPOCHS = 200
+
+#: Documented numerical-equivalence tolerance of the Cholesky path
+#: against the LU-solve / explicit-inverse reference implementation.
+EQUIVALENCE_RTOL = 1e-6
+
+
+def _tri_solve(chol_lower: np.ndarray, b: np.ndarray, transpose: bool = False):
+    """Solve ``L x = b`` (or ``L^T x = b``) for a lower-triangular L."""
+    if _solve_triangular is not None:
+        return _solve_triangular(
+            chol_lower, b, lower=True, trans=1 if transpose else 0,
+            check_finite=False,
+        )
+    return np.linalg.solve(chol_lower.T if transpose else chol_lower, b)
+
+
+def _chol_solve(chol_lower: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``(L L^T) x = b`` by two triangular substitutions."""
+    return _tri_solve(chol_lower, _tri_solve(chol_lower, b), transpose=True)
+
+
+def _chol_inverse_trace(chol_lower: np.ndarray, identity: np.ndarray) -> float:
+    """``tr(H^-1)`` for ``H = L L^T``: since ``H^-1 = L^-T L^-1``,
+    the trace is the squared Frobenius norm of ``L^-1``."""
+    inv_l = _tri_solve(chol_lower, identity)
+    return float(np.einsum("ij,ij->", inv_l, inv_l))
 
 
 @dataclass
@@ -95,29 +143,40 @@ def train_bayesian_lm(
         e_w = float(weights @ weights)
         return residuals, e_d, e_w
 
-    residuals, e_d, e_w = energies(w)
+    _, e_d, e_w = energies(w)
     objective = beta * e_d + alpha * e_w
     converged = False
     epoch = 0
+    jtj: Optional[np.ndarray] = None
+    # Whether ``jtj`` was computed at the *current* ``w`` — lets the
+    # final-report block skip a redundant Jacobian when the last epoch
+    # left the weights unchanged (trust-region-exhausted break).
+    jtj_current = False
 
     for epoch in range(1, max_epochs + 1):
-        jac = net.jacobian(x)  # (n_samples, n_weights)
+        # One forward pass serves both the residuals and the Jacobian
+        # rows (``energies`` already left the net at ``w``).
+        pred, jac = net.forward_with_jacobian(x)
+        residuals = pred - y
         jtj = jac.T @ jac
+        jtj_current = True
         grad = beta * (jac.T @ residuals) + alpha * w
 
         improved = False
         while mu <= mu_max:
             hessian = beta * jtj + (alpha + mu) * identity
             try:
-                step = np.linalg.solve(hessian, grad)
+                chol = np.linalg.cholesky(hessian)
             except np.linalg.LinAlgError:
                 mu *= 10.0
                 continue
+            step = _chol_solve(chol, grad)
             w_new = w - step
-            residuals_new, e_d_new, e_w_new = energies(w_new)
+            _, e_d_new, e_w_new = energies(w_new)
             objective_new = beta * e_d_new + alpha * e_w_new
             if objective_new < objective:
-                w, residuals, e_d, e_w = w_new, residuals_new, e_d_new, e_w_new
+                w, e_d, e_w = w_new, e_d_new, e_w_new
+                jtj_current = False
                 gain = objective - objective_new
                 objective = objective_new
                 mu = max(mu / 10.0, 1e-12)
@@ -134,8 +193,8 @@ def train_bayesian_lm(
         # MacKay evidence update of (alpha, beta).
         hessian = beta * jtj + alpha * identity
         try:
-            h_inv = np.linalg.inv(hessian)
-            gamma = n_weights - alpha * float(np.trace(h_inv))
+            chol = np.linalg.cholesky(hessian)
+            gamma = n_weights - alpha * _chol_inverse_trace(chol, identity)
         except np.linalg.LinAlgError:
             gamma = n_weights / 2.0
         gamma = float(np.clip(gamma, 0.1, n_weights))
@@ -148,11 +207,14 @@ def train_bayesian_lm(
             break
 
     net.set_weights(w)
-    # Final gamma for reporting.
+    # Final gamma for reporting; reuse the loop's J^T J when the weights
+    # have not moved since it was computed.
     try:
-        jac = net.jacobian(x)
-        hessian = beta * (jac.T @ jac) + alpha * identity
-        gamma = n_weights - alpha * float(np.trace(np.linalg.inv(hessian)))
+        if jtj is None or not jtj_current:
+            jac = net.jacobian(x)
+            jtj = jac.T @ jac
+        chol = np.linalg.cholesky(beta * jtj + alpha * identity)
+        gamma = n_weights - alpha * _chol_inverse_trace(chol, identity)
     except np.linalg.LinAlgError:
         gamma = float("nan")
     return TrainingResult(
@@ -192,8 +254,8 @@ def train_adam(
         for start in range(0, n, batch):
             idx = order[start : start + batch]
             net.set_weights(w)
-            residuals = net.predict(x[idx]) - y[idx]
-            jac = net.jacobian(x[idx])
+            pred, jac = net.forward_with_jacobian(x[idx])
+            residuals = pred - y[idx]
             grad = 2.0 * (jac.T @ residuals) / len(idx) + 2.0 * l2 * w
             t += 1
             m = beta1 * m + (1 - beta1) * grad

@@ -16,6 +16,10 @@ seed):
 * :class:`EventBus` — structured pub/sub progress events replacing the
   ad-hoc ``progress: Callable[[str], None]`` callbacks that used to be
   threaded through :class:`~repro.core.rafiki.RafikiPipeline`.
+* :mod:`repro.runtime.stateship` — content-addressed state shipping for
+  persistent pools: the scheduler ships big shared state (the rafiki
+  blob) once per fingerprint change and fingerprints-only afterwards,
+  with worker-side blob caches and a one-shot miss/refetch protocol.
 """
 
 from repro.runtime.backend import (
@@ -26,6 +30,14 @@ from repro.runtime.backend import (
 )
 from repro.runtime.deprecation import reset_deprecation_registry, warn_deprecated
 from repro.runtime.events import Event, EventBus, ScopedEventBus, callback_subscriber
+from repro.runtime.stateship import (
+    StateMiss,
+    StateMissError,
+    StateShipment,
+    StateShipper,
+    install_shipment,
+    state_fingerprint,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -38,4 +50,10 @@ __all__ = [
     "callback_subscriber",
     "warn_deprecated",
     "reset_deprecation_registry",
+    "StateShipment",
+    "StateShipper",
+    "StateMiss",
+    "StateMissError",
+    "install_shipment",
+    "state_fingerprint",
 ]

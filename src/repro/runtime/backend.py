@@ -78,14 +78,30 @@ class SerialBackend(ExecutionBackend):
         return results
 
 
+def _warm_task(index: int) -> int:
+    """No-op task used by :meth:`ProcessPoolBackend.warm`."""
+    return index
+
+
 class ProcessPoolBackend(ExecutionBackend):
     """Fan tasks out over worker processes.
 
     ``fn`` and the tasks must be picklable (module-level functions and
-    plain dataclasses/arrays).  The pool is created lazily on first use
-    and reused across calls; ``close()`` (or use as a context manager)
-    shuts it down.  With ``workers=1`` or a single task, execution falls
-    back to the serial path to avoid pointless process overhead.
+    plain dataclasses/arrays).  With ``workers=1`` or a single task,
+    execution falls back to the serial path to avoid pointless process
+    overhead.
+
+    **Pool lifecycle.**  In the default *persistent* mode one pool is
+    created lazily on first use and reused across ``map_tasks`` calls
+    until ``close()`` (or context-manager exit) shuts it down — a
+    long-lived serve loop pays worker spawn (and any worker-side state
+    warm-up, see :mod:`repro.runtime.stateship`) once, not per round.
+    ``persistent=False`` tears the pool down after every ``map_tasks``
+    call instead, trading the reuse for a zero-idle-footprint backend;
+    it is also the reference mode the state-shipping tests use to force
+    cold workers.  ``pools_created`` / ``map_calls`` count both modes'
+    behaviour for observability, and ``warm()`` pre-spawns the workers
+    so the first real round does not absorb the fork/exec cost.
 
     ``task_retries`` bounds how many times one task may be requeued
     after taking its pool down with it; ``pool_restarts`` bounds how
@@ -102,6 +118,7 @@ class ProcessPoolBackend(ExecutionBackend):
         task_retries: int = 2,
         pool_restarts: int = 2,
         events: Optional[EventBus] = None,
+        persistent: bool = True,
     ):
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -116,12 +133,29 @@ class ProcessPoolBackend(ExecutionBackend):
         self.task_retries = task_retries
         self.pool_restarts = pool_restarts
         self.events = events
+        self.persistent = persistent
+        #: Lifetime counters: pools built (lazy creations + post-crash
+        #: rebuilds) and ``map_tasks`` calls served.  A persistent pool
+        #: that never breaks shows ``pools_created == 1`` however many
+        #: rounds it serves.
+        self.pools_created = 0
+        self.map_calls = 0
         self._executor: Optional[ProcessPoolExecutor] = None
 
     def _pool(self) -> ProcessPoolExecutor:
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            self.pools_created += 1
         return self._executor
+
+    def warm(self) -> None:
+        """Pre-spawn the worker processes (persistent mode's one-time
+        cost), so the first real ``map_tasks`` call measures work, not
+        fork/exec.  A no-op for ``workers=1``."""
+        if self.workers == 1:
+            return
+        pool = self._pool()
+        list(pool.map(_warm_task, range(2 * self.workers)))
 
     def _discard_pool(self) -> None:
         """Drop a broken executor without waiting on its corpses."""
@@ -134,10 +168,17 @@ class ProcessPoolBackend(ExecutionBackend):
             self.events.publish(topic, message, **payload)
 
     def map_tasks(self, fn, tasks, on_result=None) -> List[Any]:
+        self.map_calls += 1
         tasks = list(tasks)
         if self.workers == 1 or len(tasks) <= 1:
             return SerialBackend().map_tasks(fn, tasks, on_result=on_result)
+        try:
+            return self._map_pooled(fn, tasks, on_result)
+        finally:
+            if not self.persistent:
+                self.close()
 
+    def _map_pooled(self, fn, tasks, on_result) -> List[Any]:
         results: List[Any] = [None] * len(tasks)
         completed = [False] * len(tasks)
         attempts = [0] * len(tasks)

@@ -109,3 +109,23 @@ class TestJacobian:
         a = FeedForwardNetwork([3, 4, 1], rng=np.random.default_rng(1))
         b = FeedForwardNetwork([3, 4, 1], rng=np.random.default_rng(2))
         assert not np.allclose(a.get_weights(), b.get_weights())
+
+
+class TestForwardWithJacobian:
+    def test_bit_identical_to_separate_calls(self, net, rng):
+        """One combined pass == predict() then jacobian(), bitwise."""
+        x = rng.standard_normal((11, 6))
+        pred, jac = net.forward_with_jacobian(x)
+        assert np.array_equal(pred, net.predict(x))
+        assert np.array_equal(jac, net.jacobian(x))
+
+    def test_single_row_input(self, net, rng):
+        x = rng.standard_normal(6)
+        pred, jac = net.forward_with_jacobian(x)
+        assert pred.shape == (1,)
+        assert jac.shape == (1, net.n_weights)
+
+    def test_multi_output_rejected(self, rng):
+        multi = FeedForwardNetwork([3, 4, 2], rng=rng)
+        with pytest.raises(TrainingError):
+            multi.forward_with_jacobian(rng.standard_normal((2, 3)))

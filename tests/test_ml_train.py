@@ -3,7 +3,13 @@ import pytest
 
 from repro.errors import TrainingError
 from repro.ml.network import FeedForwardNetwork
-from repro.ml.train import train_adam, train_bayesian_lm
+from repro.ml.train import (
+    EQUIVALENCE_RTOL,
+    _chol_inverse_trace,
+    _chol_solve,
+    train_adam,
+    train_bayesian_lm,
+)
 
 
 def toy_problem(n=150, seed=0):
@@ -87,3 +93,132 @@ class TestAdam:
         net = FeedForwardNetwork([3, 10, 1], rng=np.random.default_rng(1))
         result = train_adam(net, x, y, epochs=100, batch_size=32)
         assert result.train_mse < 0.2
+
+
+def _reference_lm(net, x, y, max_epochs, tolerance=1e-7, mu0=5e-3, mu_max=1e10):
+    """The seed implementation: LU step solve + explicit inverse trace,
+    separate predict()/jacobian() forwards.  The Cholesky path must stay
+    numerically equivalent to this (see ``EQUIVALENCE_RTOL``)."""
+    n_samples = x.shape[0]
+    n_weights = net.n_weights
+    identity = np.eye(n_weights)
+    alpha, beta = 1e-2, 1.0
+    mu = mu0
+    w = net.get_weights()
+
+    def energies(weights):
+        net.set_weights(weights)
+        residuals = net.predict(x) - y
+        return residuals, float(residuals @ residuals), float(weights @ weights)
+
+    residuals, e_d, e_w = energies(w)
+    objective = beta * e_d + alpha * e_w
+    for _ in range(max_epochs):
+        jac = net.jacobian(x)
+        jtj = jac.T @ jac
+        grad = beta * (jac.T @ residuals) + alpha * w
+        improved = False
+        while mu <= mu_max:
+            try:
+                step = np.linalg.solve(beta * jtj + (alpha + mu) * identity, grad)
+            except np.linalg.LinAlgError:
+                mu *= 10.0
+                continue
+            w_new = w - step
+            residuals_new, e_d_new, e_w_new = energies(w_new)
+            objective_new = beta * e_d_new + alpha * e_w_new
+            if objective_new < objective:
+                w, residuals, e_d, e_w = w_new, residuals_new, e_d_new, e_w_new
+                objective = objective_new
+                mu = max(mu / 10.0, 1e-12)
+                improved = True
+                break
+            mu *= 10.0
+        if not improved:
+            net.set_weights(w)
+            break
+        h_inv = np.linalg.inv(beta * jtj + alpha * identity)
+        gamma = float(np.clip(n_weights - alpha * np.trace(h_inv), 0.1, n_weights))
+        alpha = gamma / max(2.0 * e_w, 1e-12)
+        beta = max(n_samples - gamma, 1e-3) / max(2.0 * e_d, 1e-12)
+        objective = beta * e_d + alpha * e_w
+    net.set_weights(w)
+    return w, alpha, beta
+
+
+class TestCholeskyFactorizationPath:
+    """The single-Cholesky step/trace path vs the LU + inv reference."""
+
+    def spd_problem(self, seed=0):
+        x, y = toy_problem(seed=seed)
+        net = FeedForwardNetwork([3, 6, 1], rng=np.random.default_rng(seed + 1))
+        jac = net.jacobian(x)
+        hessian = 1.7 * (jac.T @ jac) + 0.3 * np.eye(net.n_weights)
+        return hessian, net.n_weights
+
+    def test_step_solve_matches_lu(self):
+        hessian, n = self.spd_problem()
+        grad = np.random.default_rng(9).standard_normal(n)
+        chol = np.linalg.cholesky(hessian)
+        assert np.allclose(
+            _chol_solve(chol, grad),
+            np.linalg.solve(hessian, grad),
+            rtol=EQUIVALENCE_RTOL,
+        )
+
+    def test_inverse_trace_matches_explicit_inverse(self):
+        hessian, n = self.spd_problem(seed=3)
+        chol = np.linalg.cholesky(hessian)
+        assert np.isclose(
+            _chol_inverse_trace(chol, np.eye(n)),
+            float(np.trace(np.linalg.inv(hessian))),
+            rtol=EQUIVALENCE_RTOL,
+        )
+
+    def test_trainer_tracks_lu_reference(self):
+        x, y = toy_problem()
+        net_a = FeedForwardNetwork([3, 6, 1], rng=np.random.default_rng(11))
+        net_b = FeedForwardNetwork([3, 6, 1], rng=np.random.default_rng(11))
+        train_bayesian_lm(net_a, x, y, max_epochs=5)
+        w_ref, alpha_ref, beta_ref = _reference_lm(net_b, x, y, max_epochs=5)
+        assert np.allclose(net_a.get_weights(), w_ref, rtol=EQUIVALENCE_RTOL)
+
+    def test_zero_epochs_still_reports_finite_gamma(self):
+        x, y = toy_problem()
+        net = FeedForwardNetwork([3, 6, 1], rng=np.random.default_rng(4))
+        result = train_bayesian_lm(net, x, y, max_epochs=0)
+        assert result.epochs == 0
+        assert np.isfinite(result.effective_parameters)
+
+
+class CountingNetwork(FeedForwardNetwork):
+    """Counts forward passes to pin the no-redundant-Jacobian contract."""
+
+    combined_calls = 0
+    jacobian_calls = 0
+
+    def forward_with_jacobian(self, x):
+        self.combined_calls += 1
+        return super().forward_with_jacobian(x)
+
+    def jacobian(self, x):
+        self.jacobian_calls += 1
+        return super().jacobian(x)
+
+
+class TestForwardReuse:
+    def test_lm_runs_one_combined_pass_per_epoch(self):
+        x, y = toy_problem()
+        net = CountingNetwork([3, 6, 1], rng=np.random.default_rng(1))
+        result = train_bayesian_lm(net, x, y, max_epochs=10)
+        # The end-of-training report recomputes the Jacobian at most
+        # once (never, when the last epoch left the weights unchanged).
+        assert net.jacobian_calls <= 1
+        assert net.combined_calls == result.epochs + net.jacobian_calls
+
+    def test_adam_never_double_forwards_a_batch(self):
+        x, y = toy_problem()
+        net = CountingNetwork([3, 6, 1], rng=np.random.default_rng(1))
+        train_adam(net, x, y, epochs=3, batch_size=50)
+        assert net.jacobian_calls == 0
+        assert net.combined_calls == 3 * 3  # 150 samples / 50 per batch

@@ -118,7 +118,14 @@ def run_campaign(cassandra, specs, backend=None, rafiki=None):
         ]
         for tid, r in results.items()
     }
-    log_view = [(e.topic, e.message, repr(sorted(e.payload.items()))) for e in log]
+    # backend.state_* topics are exempt from the serial == sharded
+    # contract (blob placement depends on OS worker scheduling); every
+    # other event must match bitwise.
+    log_view = [
+        (e.topic, e.message, repr(sorted(e.payload.items())))
+        for e in log
+        if not e.topic.startswith("backend.state")
+    ]
     return summary, log_view, rafiki
 
 
@@ -157,9 +164,11 @@ class TestShardedEqualsSerial:
         assert {
             tid: [e.mean_throughput for e in r.events] for tid, r in results.items()
         } == {tid: [e[3] for e in evs] for tid, evs in ref_summary.items()}
-        assert [(e.topic, e.message) for e in log] == [
-            (topic, message) for topic, message, _ in ref_log
-        ]
+        assert [
+            (e.topic, e.message)
+            for e in log
+            if not e.topic.startswith("backend.state")
+        ] == [(topic, message) for topic, message, _ in ref_log]
 
     def test_workers_one_keeps_legacy_serial_loop(self, cassandra):
         scheduler = MiddlewareScheduler(
